@@ -1,0 +1,157 @@
+// Command autovac runs the AUTOVAC pipeline: it analyses synthetic
+// malware samples (a named family or a whole corpus), extracts system
+// resource constraints, and generates vaccine packages.
+//
+// Usage:
+//
+//	autovac -family zeus -out vaccines.json
+//	autovac -corpus 200 -seed 42 -out corpus-vaccines.json
+//	autovac -family conficker -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autovac/internal/core"
+	"autovac/internal/exclusive"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "autovac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("autovac", flag.ContinueOnError)
+	var (
+		family  = fs.String("family", "", "analyse one family: zeus|conficker|sality|qakbot|ibank|poisonivy")
+		corpusN = fs.Int("corpus", 0, "analyse a generated corpus of this size")
+		seed    = fs.Int64("seed", 42, "deterministic seed")
+		out     = fs.String("out", "", "write the vaccine pack to this file (default stdout summary only)")
+		clinicN = fs.Int("clinic", 0, "run the clinic test against this many benign programs (0 = skip)")
+		verbose = fs.Bool("v", false, "print per-candidate detail")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *family == "" && *corpusN == 0 {
+		return fmt.Errorf("need -family or -corpus (see -h)")
+	}
+
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		return err
+	}
+	ix, err := exclusive.BuildIndex(benign, uint64(*seed))
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Seed: uint64(*seed), Index: ix}
+	if *clinicN > 0 {
+		n := *clinicN
+		if n > len(benign) {
+			n = len(benign)
+		}
+		cfg.Benign = benign[:n]
+	}
+	pipeline := core.New(cfg)
+	gen := malware.NewGenerator(*seed)
+
+	var samples []*malware.Sample
+	if *family != "" {
+		f, err := parseFamily(*family)
+		if err != nil {
+			return err
+		}
+		s, err := gen.FamilySample(f)
+		if err != nil {
+			return err
+		}
+		samples = []*malware.Sample{s}
+	} else {
+		samples, err = gen.Corpus(*corpusN)
+		if err != nil {
+			return err
+		}
+	}
+
+	pack := &vaccine.Pack{Generator: "autovac-go/1.0"}
+	flagged, immunized := 0, 0
+	for _, s := range samples {
+		res, err := pipeline.Analyze(s)
+		if err != nil {
+			return err
+		}
+		if res.Profile.HasVaccineCandidates() {
+			flagged++
+		}
+		if len(res.Vaccines) > 0 {
+			immunized++
+		}
+		pack.Vaccines = append(pack.Vaccines, res.Vaccines...)
+		if *verbose {
+			fmt.Printf("%s (%s/%s): %d candidates, %d vaccines\n",
+				s.Name(), s.Spec.Category, s.Spec.Family,
+				len(res.Profile.Candidates), len(res.Vaccines))
+			for _, v := range res.Vaccines {
+				fmt.Printf("  + %s\n", v.String())
+			}
+			for _, r := range res.Rejected {
+				fmt.Printf("  - %s %q rejected at %s: %s\n",
+					r.Candidate.Call.API, r.Candidate.Call.Identifier, r.Stage, r.Reason)
+			}
+			for _, r := range res.ClinicRejections {
+				fmt.Printf("  - clinic: %s\n", r)
+			}
+		}
+	}
+
+	fmt.Printf("samples analysed:  %d\n", len(samples))
+	fmt.Printf("flagged (Phase-I): %d\n", flagged)
+	fmt.Printf("with vaccines:     %d\n", immunized)
+	fmt.Printf("vaccines:          %d\n", len(pack.Vaccines))
+	if len(samples) > 1 {
+		// Fleet deployment installs each resource once.
+		pack.Vaccines = vaccine.Dedupe(pack.Vaccines)
+		fmt.Printf("after dedupe:      %d\n", len(pack.Vaccines))
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pack.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("pack written to %s\n", *out)
+	}
+	return nil
+}
+
+// parseFamily maps a CLI name to a malware family.
+func parseFamily(s string) (malware.Family, error) {
+	switch strings.ToLower(s) {
+	case "zeus", "zbot":
+		return malware.Zeus, nil
+	case "conficker":
+		return malware.Conficker, nil
+	case "sality":
+		return malware.Sality, nil
+	case "qakbot":
+		return malware.Qakbot, nil
+	case "ibank":
+		return malware.IBank, nil
+	case "poisonivy", "pi":
+		return malware.PoisonIvy, nil
+	}
+	return "", fmt.Errorf("unknown family %q", s)
+}

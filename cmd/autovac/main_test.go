@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autovac/internal/vaccine"
+)
+
+func TestRunFamilyWritesPack(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "zeus.json")
+	if err := run([]string{"-family", "zeus", "-seed", "42", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pack, err := vaccine.ReadPack(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pack.Vaccines) == 0 {
+		t.Fatal("empty pack")
+	}
+	found := false
+	for _, v := range pack.Vaccines {
+		if v.Identifier == `C:\Windows\system32\sdra64.exe` {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("sdra64.exe vaccine missing from pack: %d vaccines", len(pack.Vaccines))
+	}
+}
+
+func TestRunSmallCorpusVerbose(t *testing.T) {
+	if err := run([]string{"-corpus", "12", "-seed", "7", "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithClinic(t *testing.T) {
+	if err := run([]string{"-family", "poisonivy", "-clinic", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-family", "nosuch"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestParseFamilyAliases(t *testing.T) {
+	for _, alias := range []string{"zeus", "zbot", "ZEUS"} {
+		if _, err := parseFamily(alias); err != nil {
+			t.Errorf("parseFamily(%q): %v", alias, err)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Command benchreport regenerates the paper's evaluation tables and
+// figures over the synthetic corpus (see DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	benchreport -all                 # everything, paper-scale corpus
+//	benchreport -all -n 200          # everything, reduced corpus
+//	benchreport -table 4 -n 400
+//	benchreport -figure 3 -n 400
+//	benchreport -phase1 -n 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"autovac/internal/experiment"
+	"autovac/internal/malware"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	var (
+		n      = fs.Int("n", 1716, "corpus size (1716 = paper scale)")
+		seed   = fs.Int64("seed", 42, "deterministic seed")
+		table  = fs.Int("table", 0, "regenerate one table (1..7)")
+		figure = fs.Int("figure", 0, "regenerate one figure (3 or 4)")
+		phase1 = fs.Bool("phase1", false, "regenerate the Phase-I statistics (§VI-B)")
+		fptest = fs.Bool("fp", false, "run the clinic false-positive test (§VI-E)")
+		timing = fs.Bool("timing", false, "run the §VI-F performance measurements")
+		evade  = fs.Bool("evasion", false, "run the §VII evasion/limitation experiments")
+		ablate = fs.Bool("ablation", false, "run the design-choice ablation study")
+		all    = fs.Bool("all", false, "regenerate everything")
+		bdrCap = fs.Int("bdrcap", 10, "max vaccines measured per effect class for Figure 4")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate {
+		*all = true
+	}
+
+	start := time.Now()
+	setup, err := experiment.NewSetup(*seed, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corpus: %d samples, %d benign programs, %d indexed identifiers (setup %v)\n\n",
+		len(setup.Samples), len(setup.Benign), setup.Index.Size(),
+		time.Since(start).Round(time.Millisecond))
+
+	if *all || *table == 1 {
+		fmt.Println(experiment.RenderTableI(experiment.TableI()))
+		res, total := experiment.Hooked()
+		fmt.Printf("hooked resource APIs: %d of %d registered\n\n", res, total)
+	}
+	if *all || *table == 2 {
+		fmt.Println(experiment.RenderTableII(setup.TableII()))
+	}
+
+	needPhase1 := *all || *phase1 || *figure == 3 || *figure == 4 || *fptest ||
+		*table == 3 || *table == 4 || *table == 5 || *table == 6
+	var stats *experiment.Phase1Stats
+	var profiles []interface{}
+	_ = profiles
+	var gen *experiment.GenStats
+	if needPhase1 {
+		t0 := time.Now()
+		st, profs, err := setup.RunPhase1()
+		if err != nil {
+			return err
+		}
+		stats = st
+		if *all || *phase1 {
+			fmt.Println(experiment.RenderPhase1(stats))
+		}
+		if *all || *figure == 3 {
+			fmt.Println(experiment.RenderFigure3(experiment.Figure3(stats)))
+		}
+		needPhase2 := *all || *figure == 4 || *fptest ||
+			*table == 3 || *table == 4 || *table == 5 || *table == 6
+		if needPhase2 {
+			g, err := setup.RunPhase2(profs)
+			if err != nil {
+				return err
+			}
+			gen = g
+			if *all {
+				fmt.Println(experiment.RenderGenSummary(gen))
+			}
+		}
+		fmt.Printf("(phase 1+2 over %d samples: %v)\n\n", stats.SamplesRun,
+			time.Since(t0).Round(time.Millisecond))
+	}
+
+	if gen != nil && (*all || *table == 4) {
+		fmt.Println(experiment.RenderTableIV(experiment.TableIV(gen)))
+	}
+	if gen != nil && (*all || *table == 3) {
+		fmt.Println(experiment.RenderTableIII(experiment.TableIII(gen, setup.Samples, 10)))
+	}
+	if gen != nil && (*all || *table == 5) {
+		fmt.Println(experiment.RenderTableV(experiment.TableV(gen)))
+	}
+	if gen != nil && (*all || *table == 6) {
+		v, ok := experiment.TableVI(gen)
+		fmt.Println(experiment.RenderTableVI(v, ok))
+	}
+	if gen != nil && (*all || *figure == 4) {
+		byName := make(map[string]*malware.Sample, len(setup.Samples))
+		for _, s := range setup.Samples {
+			byName[s.Name()] = s
+		}
+		points, err := setup.Figure4(gen, byName, *bdrCap)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFigure4(experiment.SummarizeBDR(points)))
+	}
+	if *all || *table == 7 {
+		rows, err := setup.TableVII(5, 0.45)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderTableVII(rows))
+	}
+	if gen != nil && (*all || *fptest) {
+		vs := gen.Vaccines
+		if len(vs) > 25 {
+			vs = vs[:25] // keep the full-suite clinic run tractable
+		}
+		rep, err := setup.FalsePositiveTest(vs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderFalsePositive(rep))
+	}
+
+	if *all || *timing {
+		tm, err := setup.MeasureTiming(30)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderTiming(tm))
+	}
+	if *all || *evade {
+		ren, err := setup.RenameEvasion(malware.PoisonIvy)
+		if err != nil {
+			return err
+		}
+		fo, fe, ri, err := setup.CheckDropEvasion()
+		if err != nil {
+			return err
+		}
+		cd, err := setup.ControlDepEvasion()
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderEvasion(ren, fo, fe, ri, cd))
+	}
+	if *ablate {
+		_, profiles, err := setup.RunPhase1()
+		if err != nil {
+			return err
+		}
+		rep, err := setup.Ablation(profiles)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderAblation(rep))
+	}
+
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import "testing"
+
+func TestSingleTable(t *testing.T) {
+	if err := run([]string{"-table", "2", "-n", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhase1Only(t *testing.T) {
+	if err := run([]string{"-phase1", "-n", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigure3(t *testing.T) {
+	if err := run([]string{"-figure", "3", "-n", "30"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable7(t *testing.T) {
+	if err := run([]string{"-table", "7", "-n", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduced(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full report in short mode")
+	}
+	if err := run([]string{"-all", "-n", "40", "-bdrcap", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvasionFlag(t *testing.T) {
+	if err := run([]string{"-evasion", "-n", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAblationFlag(t *testing.T) {
+	if err := run([]string{"-ablation", "-n", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimingFlag(t *testing.T) {
+	if err := run([]string{"-timing", "-n", "10"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable1Flag(t *testing.T) {
+	if err := run([]string{"-table", "1", "-n", "5"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,160 @@
+// Command corpusgen generates and describes the synthetic analysis
+// corpus: the Table II category mix, the six named families, and
+// polymorphic variants. It can disassemble individual samples for
+// inspection.
+//
+// Usage:
+//
+//	corpusgen -n 1716 -seed 42            # summary
+//	corpusgen -n 100 -list                # one line per sample
+//	corpusgen -disasm zeus                # print a sample's assembly
+//	corpusgen -variants zeus -n 5         # emit variants
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autovac/internal/malware"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "corpusgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("corpusgen", flag.ContinueOnError)
+	var (
+		n        = fs.Int("n", 1716, "corpus size (1716 = paper's Table II)")
+		seed     = fs.Int64("seed", 42, "deterministic seed")
+		list     = fs.Bool("list", false, "print one line per sample")
+		disasm   = fs.String("disasm", "", "disassemble this sample (family name or corpus sample name)")
+		variants = fs.String("variants", "", "generate variants of this family")
+		benign   = fs.Bool("benign", false, "describe the benign corpus instead")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gen := malware.NewGenerator(*seed)
+
+	if *benign {
+		suite, err := malware.BenignCorpus()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("benign suite: %d programs\n", len(suite))
+		for _, s := range suite {
+			fmt.Printf("  %-24s %2d behaviours, %3d instrs\n",
+				s.Name(), len(s.Spec.Behaviors), len(s.Program.Instrs))
+		}
+		return nil
+	}
+
+	if *disasm != "" {
+		s, err := findSample(gen, *disasm, *n)
+		if err != nil {
+			return err
+		}
+		fmt.Print(s.Program.Disassemble())
+		return nil
+	}
+
+	if *variants != "" {
+		fam, err := parseFamily(*variants)
+		if err != nil {
+			return err
+		}
+		base, err := gen.FamilySample(fam)
+		if err != nil {
+			return err
+		}
+		vs, err := gen.Variants(base, *n, 0.3)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("base %s: md5 %s, %d instrs\n", base.Name(), base.MD5, len(base.Program.Instrs))
+		for _, v := range vs {
+			fmt.Printf("  %-18s md5 %s, %d instrs, %d behaviours\n",
+				v.Name(), v.MD5, len(v.Program.Instrs), len(v.Spec.Behaviors))
+		}
+		return nil
+	}
+
+	corpus, err := gen.Corpus(*n)
+	if err != nil {
+		return err
+	}
+	if *list {
+		for _, s := range corpus {
+			fam := string(s.Spec.Family)
+			if fam == "" {
+				fam = "-"
+			}
+			fmt.Printf("%-18s %-12s %-12s %3d instrs  md5 %s\n",
+				s.Name(), s.Spec.Category, fam, len(s.Program.Instrs), s.MD5)
+		}
+		return nil
+	}
+
+	counts := make(map[malware.Category]int)
+	instrs := 0
+	sensitive := 0
+	for _, s := range corpus {
+		counts[s.Spec.Category]++
+		instrs += len(s.Program.Instrs)
+		if s.Spec.ResourceSensitive() {
+			sensitive++
+		}
+	}
+	fmt.Printf("corpus: %d samples (seed %d)\n", len(corpus), *seed)
+	for _, cat := range malware.Categories() {
+		fmt.Printf("  %-12s %5d (%5.2f%%)\n", cat, counts[cat],
+			100*float64(counts[cat])/float64(len(corpus)))
+	}
+	fmt.Printf("resource-sensitive specs: %d (%.1f%%)\n",
+		sensitive, 100*float64(sensitive)/float64(len(corpus)))
+	fmt.Printf("total instructions: %d (avg %.0f/sample)\n",
+		instrs, float64(instrs)/float64(len(corpus)))
+	return nil
+}
+
+// findSample resolves a family name or scans the corpus for a sample
+// name.
+func findSample(gen *malware.Generator, name string, n int) (*malware.Sample, error) {
+	if fam, err := parseFamily(name); err == nil {
+		return gen.FamilySample(fam)
+	}
+	corpus, err := gen.Corpus(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range corpus {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("no sample %q in a corpus of %d", name, n)
+}
+
+func parseFamily(s string) (malware.Family, error) {
+	switch strings.ToLower(s) {
+	case "zeus", "zbot":
+		return malware.Zeus, nil
+	case "conficker":
+		return malware.Conficker, nil
+	case "sality":
+		return malware.Sality, nil
+	case "qakbot":
+		return malware.Qakbot, nil
+	case "ibank":
+		return malware.IBank, nil
+	case "poisonivy", "pi":
+		return malware.PoisonIvy, nil
+	}
+	return "", fmt.Errorf("unknown family %q", s)
+}

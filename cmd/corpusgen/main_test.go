@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+func TestSummary(t *testing.T) {
+	if err := run([]string{"-n", "60", "-seed", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestList(t *testing.T) {
+	if err := run([]string{"-n", "20", "-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisasmFamily(t *testing.T) {
+	if err := run([]string{"-disasm", "conficker"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisasmCorpusSample(t *testing.T) {
+	if err := run([]string{"-disasm", "trojan-0001", "-n", "40"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-disasm", "no-such-sample", "-n", "10"}); err == nil {
+		t.Error("missing sample accepted")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	if err := run([]string{"-variants", "zeus", "-n", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-variants", "bogus"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestBenign(t *testing.T) {
+	if err := run([]string{"-benign"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+// Command vaccinectl deploys a vaccine pack onto a simulated end host
+// and verifies immunization: it re-generates the named malware sample,
+// runs it against the vaccinated host, and reports the immunization
+// outcome and Behavior Decreasing Ratio.
+//
+// Usage:
+//
+//	autovac -family zeus -out zeus.json
+//	vaccinectl -pack zeus.json -family zeus
+//	vaccinectl -pack zeus.json -family zeus -host FINANCE-PC-22
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"autovac/internal/deploy"
+	"autovac/internal/emu"
+	"autovac/internal/impact"
+	"autovac/internal/malware"
+	"autovac/internal/trace"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vaccinectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vaccinectl", flag.ContinueOnError)
+	var (
+		packPath = fs.String("pack", "", "vaccine pack (JSON) to deploy")
+		family   = fs.String("family", "", "verify against this family's sample")
+		host     = fs.String("host", "", "computer name of the target host (default analysis machine)")
+		list     = fs.Bool("list", false, "print the pack contents without deploying")
+		seed     = fs.Int64("seed", 42, "deterministic seed (must match generation)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *packPath == "" {
+		return fmt.Errorf("need -pack")
+	}
+
+	f, err := os.Open(*packPath)
+	if err != nil {
+		return err
+	}
+	pack, err := vaccine.ReadPack(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	if *list {
+		fmt.Printf("pack %q: %d vaccines\n", pack.Generator, len(pack.Vaccines))
+		for _, v := range pack.Vaccines {
+			fmt.Printf("  %s\n", v.String())
+			if v.Slice != nil {
+				fmt.Printf("    slice: %d instructions, root API %s\n",
+					len(v.Slice.Program.Instrs), v.Slice.API)
+			}
+		}
+		return nil
+	}
+
+	id := winenv.DefaultIdentity()
+	if *host != "" {
+		id.ComputerName = *host
+	}
+	env := winenv.New(id)
+	d := deploy.NewDaemon(env, uint64(*seed))
+	for _, v := range pack.Vaccines {
+		if err := d.Install(v); err != nil {
+			return fmt.Errorf("deploying %s: %w", v.ID, err)
+		}
+		target := v.Identifier
+		if v.Pattern != "" {
+			target = v.Pattern
+		}
+		fmt.Printf("deployed %-40s [%s %s, %s]\n", target, v.Resource, v.Class, v.Delivery)
+	}
+	fmt.Printf("%d vaccines active on %s\n", d.VaccineCount(), id.ComputerName)
+
+	if *family == "" {
+		return nil
+	}
+	fam, err := parseFamily(*family)
+	if err != nil {
+		return err
+	}
+	sample, err := malware.NewGenerator(*seed).FamilySample(fam)
+	if err != nil {
+		return err
+	}
+
+	// Natural behaviour on a clean host vs behaviour on the vaccinated
+	// host.
+	normal, err := emu.Run(sample.Program, winenv.New(id), emu.Options{Seed: uint64(*seed)})
+	if err != nil {
+		return err
+	}
+	protected, err := emu.Run(sample.Program, env, emu.Options{Seed: uint64(*seed)})
+	if err != nil {
+		return err
+	}
+	r := impact.Classify(protected, normal)
+	bdr := impact.BDR(normal, protected)
+
+	fmt.Printf("\nverification against %s:\n", sample.Name())
+	fmt.Printf("  clean host:      %d API calls, exit %v\n", normal.NativeCallCount(), normal.Exit)
+	fmt.Printf("  vaccinated host: %d API calls, exit %v\n", protected.NativeCallCount(), protected.Exit)
+	fmt.Printf("  immunization:    %v (effects %v)\n", r.Primary, r.Effects)
+	fmt.Printf("  BDR:             %.0f%%\n", 100*bdr)
+	if protected.Exit == trace.ExitProcess && normal.Exit != trace.ExitProcess {
+		fmt.Println("  the malware terminated itself on the vaccinated host")
+	}
+	if !r.Immunizing() {
+		return fmt.Errorf("pack did not immunize against %s", sample.Name())
+	}
+	return nil
+}
+
+func parseFamily(s string) (malware.Family, error) {
+	switch strings.ToLower(s) {
+	case "zeus", "zbot":
+		return malware.Zeus, nil
+	case "conficker":
+		return malware.Conficker, nil
+	case "sality":
+		return malware.Sality, nil
+	case "qakbot":
+		return malware.Qakbot, nil
+	case "ibank":
+		return malware.IBank, nil
+	case "poisonivy", "pi":
+		return malware.PoisonIvy, nil
+	}
+	return "", fmt.Errorf("unknown family %q", s)
+}

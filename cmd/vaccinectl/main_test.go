@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autovac/internal/core"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+)
+
+// writePack analyses a family and writes its pack to a temp file.
+func writePack(t *testing.T, fam malware.Family) string {
+	t.Helper()
+	sample, err := malware.NewGenerator(42).FamilySample(fam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.New(core.Config{Seed: 42}).Analyze(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack := &vaccine.Pack{Generator: "test", Vaccines: res.Vaccines}
+	path := filepath.Join(t.TempDir(), "pack.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pack.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDeployAndVerify(t *testing.T) {
+	pack := writePack(t, malware.PoisonIvy)
+	if err := run([]string{"-pack", pack, "-family", "poisonivy", "-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployOnRenamedHost(t *testing.T) {
+	pack := writePack(t, malware.Conficker)
+	// The algorithm-deterministic vaccine must regenerate for the new
+	// host name and still immunize.
+	if err := run([]string{"-pack", pack, "-family", "conficker", "-host", "BRANCH-POS-2", "-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeployWithoutVerification(t *testing.T) {
+	pack := writePack(t, malware.Zeus)
+	if err := run([]string{"-pack", pack}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -pack accepted")
+	}
+	if err := run([]string{"-pack", "/no/such/file.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	pack := writePack(t, malware.Zeus)
+	if err := run([]string{"-pack", pack, "-family", "bogus"}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestListPack(t *testing.T) {
+	pack := writePack(t, malware.Conficker)
+	if err := run([]string{"-pack", pack, "-list"}); err != nil {
+		t.Fatal(err)
+	}
+}

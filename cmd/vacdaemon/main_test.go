@@ -1,0 +1,79 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"autovac/internal/core"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+)
+
+// mixedPack writes a pack containing static, algorithm-deterministic,
+// and partial-static vaccines.
+func mixedPack(t *testing.T) string {
+	t.Helper()
+	pipeline := core.New(core.Config{Seed: 42})
+	var vs []vaccine.Vaccine
+	for _, spec := range []*malware.Spec{
+		{Name: "dmn-static", Category: malware.Worm, Behaviors: []malware.Behavior{
+			{Kind: malware.BehMarkerMutex, ID: "DMN.STATIC.1"},
+			{Kind: malware.BehNetworkCC, ID: "a.example", Aux: "445", Count: 1},
+		}},
+		{Name: "dmn-algo", Category: malware.Worm, Behaviors: []malware.Behavior{
+			{Kind: malware.BehAlgoMutex, ID: `Global\%s-44`},
+			{Kind: malware.BehNetworkCC, ID: "b.example", Aux: "445", Count: 1},
+		}},
+		{Name: "dmn-partial", Category: malware.Worm, Behaviors: []malware.Behavior{
+			{Kind: malware.BehPartialMutex, ID: "DMNPART"},
+			{Kind: malware.BehNetworkCC, ID: "c.example", Aux: "445", Count: 1},
+		}},
+	} {
+		sample := &malware.Sample{Spec: spec, Program: malware.MustEmit(spec)}
+		res, err := pipeline.Analyze(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, res.Vaccines...)
+	}
+	if len(vs) < 3 {
+		t.Fatalf("only %d vaccines generated", len(vs))
+	}
+	path := filepath.Join(t.TempDir(), "mixed.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := (&vaccine.Pack{Generator: "test", Vaccines: vs}).WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDaemonServesPack(t *testing.T) {
+	pack := mixedPack(t)
+	if err := run([]string{"-pack", pack, "-attacks", "50", "-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDaemonErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("missing -pack accepted")
+	}
+	if err := run([]string{"-pack", "/no/such.json"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestProbeName(t *testing.T) {
+	got := probeName("WORM-*", 3)
+	if len(got) <= len("WORM-") || got[:5] != "WORM-" {
+		t.Errorf("probeName = %q", got)
+	}
+	if probeName("exact", 1) != "exact" {
+		t.Error("literal pattern changed")
+	}
+}

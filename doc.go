@@ -1,0 +1,19 @@
+// Package autovac is a from-scratch Go reproduction of
+// "AUTOVAC: Towards Automatically Extracting System Resource Constraints
+// and Generating Vaccines for Malware Immunization" (ICDCS 2013).
+//
+// The repository implements the paper's full pipeline — dynamic taint
+// analysis over resource-related APIs, trace differential impact
+// analysis, determinism analysis with backward program slicing, and
+// vaccine delivery by direct injection or a resident daemon — together
+// with every substrate the original prototype relied on: a Windows-like
+// resource environment, an x86-flavoured instruction set and emulator,
+// a labelled API surface, a synthetic malware corpus matching the
+// paper's evaluation mix, and a benign-software suite for exclusiveness
+// analysis and the clinic test.
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and experiment index, and EXPERIMENTS.md for the
+// paper-versus-measured comparison. The benchmark harness in
+// bench_test.go regenerates every table and figure of the paper's §VI.
+package autovac

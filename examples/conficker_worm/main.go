@@ -1,0 +1,165 @@
+// Conficker-style worm propagation with and without vaccination.
+//
+// This example motivates the paper's use case (§II-A): "If we can
+// capture the binary at the initial infection stage, we can quickly
+// generate vaccines and protect our uninfected machines from the
+// attacks." It simulates a small enterprise network, lets the worm
+// propagate, then repeats the epidemic after pre-injecting the
+// algorithm-deterministic mutex vaccine (extracted by the pipeline from
+// patient zero's infection) into part of the fleet.
+//
+// The vaccine is per-host: the marker name derives from each machine's
+// computer name, so the daemon replays the extracted program slice on
+// every host — exactly the Conficker case study of §VI-D.
+//
+// Run with:
+//
+//	go run ./examples/conficker_worm
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autovac/internal/core"
+	"autovac/internal/emu"
+	"autovac/internal/exclusive"
+	"autovac/internal/malware"
+	"autovac/internal/trace"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+const (
+	seed     = 7
+	fleet    = 24 // machines on the network
+	coverage = 12 // machines that receive the vaccine
+	rounds   = 6  // propagation rounds
+)
+
+// host is one machine on the simulated network.
+type host struct {
+	env      *winenv.Env
+	infected bool
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	worm, err := malware.NewGenerator(seed).FamilySample(malware.Conficker)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worm: %s (md5 %s)\n\n", worm.Name(), worm.MD5)
+
+	// Patient zero is captured and analysed; the pipeline extracts the
+	// vaccines, including the algorithm-deterministic mutex.
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		return err
+	}
+	index, err := exclusive.BuildIndex(benign, seed)
+	if err != nil {
+		return err
+	}
+	pipeline := core.New(core.Config{Seed: seed, Index: index})
+	res, err := pipeline.Analyze(worm)
+	if err != nil {
+		return err
+	}
+	var mutexVaccine *vaccine.Vaccine
+	for i := range res.Vaccines {
+		if res.Vaccines[i].Resource == winenv.KindMutex {
+			mutexVaccine = &res.Vaccines[i]
+			break
+		}
+	}
+	if mutexVaccine == nil {
+		return fmt.Errorf("no mutex vaccine extracted (got %d vaccines)", len(res.Vaccines))
+	}
+	fmt.Printf("extracted vaccine: %s\n", mutexVaccine.String())
+	fmt.Printf("  (identifier class %s: the daemon replays a %d-step slice per host)\n\n",
+		mutexVaccine.Class, mutexVaccine.Slice.SourceSteps)
+
+	// Epidemic 1: unprotected fleet.
+	unprotected := epidemic(worm, nil, pipeline)
+	// Epidemic 2: half the fleet vaccinated before the outbreak.
+	protected := epidemic(worm, mutexVaccine, pipeline)
+
+	fmt.Println("round   infected (unprotected)   infected (50% vaccinated)")
+	for r := 0; r < len(unprotected); r++ {
+		fmt.Printf("%5d   %22d   %25d\n", r, unprotected[r], protected[r])
+	}
+	fmt.Printf("\nfinal: %d/%d infected without vaccines, %d/%d with %d vaccinated hosts\n",
+		unprotected[len(unprotected)-1], fleet,
+		protected[len(protected)-1], fleet, coverage)
+	return nil
+}
+
+// epidemic runs the propagation simulation and returns the infected
+// count after each round. If v is non-nil it is injected into the
+// `coverage` machines furthest from patient zero before the outbreak.
+func epidemic(worm *malware.Sample, v *vaccine.Vaccine, pipeline *core.Pipeline) []int {
+	hosts := make([]*host, fleet)
+	for i := range hosts {
+		id := winenv.DefaultIdentity()
+		id.ComputerName = fmt.Sprintf("CORP-PC-%02d", i)
+		id.IPAddress = fmt.Sprintf("10.0.0.%d", i+10)
+		hosts[i] = &host{env: winenv.New(id)}
+		// Patient zero's half of the subnet stays unprotected; the
+		// vaccine reaches the other half before the worm does.
+		if v != nil && i >= fleet-coverage {
+			d := pipeline.NewDaemonFor(hosts[i].env)
+			if err := d.Install(*v); err != nil {
+				log.Fatalf("deploy on %s: %v", id.ComputerName, err)
+			}
+		}
+	}
+	// Patient zero.
+	hosts[0].infected = infect(worm, hosts[0])
+	counts := []int{count(hosts)}
+
+	// Each round, every infected machine probes the next machines on
+	// the subnet (sequential scanning, Conficker-style).
+	for r := 0; r < rounds; r++ {
+		var targets []int
+		for i, h := range hosts {
+			if !h.infected {
+				continue
+			}
+			targets = append(targets, (i+1)%fleet, (i+2)%fleet, (i+5)%fleet)
+		}
+		for _, t := range targets {
+			if !hosts[t].infected {
+				hosts[t].infected = infect(worm, hosts[t])
+			}
+		}
+		counts = append(counts, count(hosts))
+	}
+	return counts
+}
+
+// infect runs the worm on a host; infection succeeded when the worm ran
+// its payload (did not exit at the marker probe).
+func infect(worm *malware.Sample, h *host) bool {
+	tr, err := emu.Run(worm.Program, h.env, emu.Options{Seed: seed})
+	if err != nil || tr.Exit == trace.ExitFault {
+		return false
+	}
+	// The worm considers the machine taken when it exited on its marker.
+	return tr.Exit != trace.ExitProcess
+}
+
+func count(hosts []*host) int {
+	n := 0
+	for _, h := range hosts {
+		if h.infected {
+			n++
+		}
+	}
+	return n
+}

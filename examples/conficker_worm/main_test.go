@@ -1,0 +1,11 @@
+package main
+
+import "testing"
+
+// TestRun keeps the example runnable: it executes the full scenario and
+// fails on any error (output goes to stdout, which go test captures).
+func TestRun(t *testing.T) {
+	if err := run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// The vaccine daemon: partial-static interception and slice refresh.
+//
+// Two vaccine classes need a resident daemon (paper §V): partial-static
+// identifiers, matched by wildcard pattern at interception time, and
+// algorithm-deterministic identifiers, whose per-host values must be
+// re-generated when host facts change.
+//
+// This example generates both kinds from two samples — a worm whose
+// marker is "WORMID-<random hex>" and a Conficker-style worm whose
+// marker derives from the computer name — installs them in one daemon,
+// and demonstrates interception, immunity, and the refresh after the
+// machine is renamed.
+//
+// Run with:
+//
+//	go run ./examples/vaccine_daemon
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"autovac/internal/core"
+	"autovac/internal/determinism"
+	"autovac/internal/emu"
+	"autovac/internal/exclusive"
+	"autovac/internal/malware"
+	"autovac/internal/trace"
+	"autovac/internal/winenv"
+)
+
+const seed = 11
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	partialWorm := mustBuild(&malware.Spec{
+		Name: "hexworm", Category: malware.Worm,
+		Behaviors: []malware.Behavior{
+			{Kind: malware.BehPartialMutex, ID: "WORMID"},
+			{Kind: malware.BehNetworkCC, ID: "hexworm-p2p.example", Aux: "445", Count: 3},
+		},
+	})
+	algoWorm := mustBuild(&malware.Spec{
+		Name: "nameworm", Category: malware.Worm,
+		Behaviors: []malware.Behavior{
+			{Kind: malware.BehAlgoMutex, ID: `Global\%s-13`},
+			{Kind: malware.BehNetworkCC, ID: "nameworm-cc.example", Aux: "445", Count: 3},
+		},
+	})
+
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		return err
+	}
+	index, err := exclusive.BuildIndex(benign, seed)
+	if err != nil {
+		return err
+	}
+	pipeline := core.New(core.Config{Seed: seed, Index: index})
+
+	host := winenv.New(winenv.DefaultIdentity())
+	daemon := pipeline.NewDaemonFor(host)
+
+	for _, sample := range []*malware.Sample{partialWorm, algoWorm} {
+		res, err := pipeline.Analyze(sample)
+		if err != nil {
+			return err
+		}
+		for _, v := range res.Vaccines {
+			if err := daemon.Install(v); err != nil {
+				return err
+			}
+			target := v.Identifier
+			if v.Class == determinism.PartialStatic {
+				target = v.Pattern
+			}
+			fmt.Printf("installed %-28s [%s, %s]\n", target, v.Class, v.Delivery)
+		}
+	}
+
+	// Both worms attack the protected host.
+	for _, sample := range []*malware.Sample{partialWorm, algoWorm} {
+		tr, err := emu.Run(sample.Program, host, emu.Options{Seed: seed})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s on protected host: exit %v, %d C&C rounds\n",
+			sample.Name(), tr.Exit, len(tr.CallsTo("send")))
+		if tr.Exit == trace.ExitProcess {
+			fmt.Println("  -> believed the machine was already infected; gave up")
+		}
+	}
+	inspected, intercepted := daemon.Stats()
+	fmt.Printf("\ndaemon stats: %d operations inspected, %d intercepted\n",
+		inspected, intercepted)
+
+	// The machine is renamed: the algorithm-deterministic marker must be
+	// re-generated (the daemon's periodic refresh, §V).
+	id := host.Identity()
+	fmt.Printf("\nrenaming host %s -> ACCOUNTING-07\n", id.ComputerName)
+	id.ComputerName = "ACCOUNTING-07"
+	host.SetIdentity(id)
+
+	n, err := daemon.Refresh()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("daemon refresh: %d vaccine(s) re-generated\n", n)
+	fmt.Printf("new marker present: %v\n",
+		host.Exists(winenv.KindMutex, `Global\ACCOUNTING-07-13`))
+
+	tr, err := emu.Run(algoWorm.Program, host, emu.Options{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s after rename: exit %v (still immune)\n", algoWorm.Name(), tr.Exit)
+	return nil
+}
+
+func mustBuild(spec *malware.Spec) *malware.Sample {
+	prog := malware.MustEmit(spec)
+	return &malware.Sample{Spec: spec, Program: prog, MD5: spec.Name}
+}

@@ -1,0 +1,3 @@
+module autovac
+
+go 1.22

@@ -1,0 +1,169 @@
+// Package alignment implements the trace differential analysis of
+// AUTOVAC's impact step (paper §IV-B, Algorithm 1): aligning a natural
+// API-call trace with a resource-mutated one and computing the
+// difference sets Δm (calls only in the mutated run) and Δn (calls only
+// in the natural run).
+//
+// Alignment follows Zeller's execution-alignment idea at API
+// granularity: two calls align when their calling execution contexts —
+// the triple <API-name, caller-PC, static parameter list> — are
+// equivalent. The difference extraction uses a longest-common-
+// subsequence over those context keys, which subsumes the linear
+// anchor-scan of the paper's Algorithm 1 and handles multiple aligned
+// regions.
+package alignment
+
+import (
+	"fmt"
+	"strings"
+
+	"autovac/internal/trace"
+)
+
+// Key is the calling execution context two calls must share to align:
+// <API-name, Caller-PC, static parameters>. Dynamic parameters (handles,
+// buffer pointers) are excluded, exactly as §IV-B prescribes.
+type Key struct {
+	API      string
+	CallerPC int
+	Params   string
+}
+
+// KeyOf derives the alignment key of a call record.
+func KeyOf(c trace.APICall) Key {
+	var parts []string
+	for i, a := range c.Args {
+		if !a.Static {
+			continue
+		}
+		if a.Str != "" {
+			parts = append(parts, fmt.Sprintf("%d=%s", i, a.Str))
+		} else {
+			parts = append(parts, fmt.Sprintf("%d=%#x", i, a.Raw))
+		}
+	}
+	return Key{API: c.API, CallerPC: c.CallerPC, Params: strings.Join(parts, "|")}
+}
+
+// Flip is an aligned call pair whose success status differs between
+// the two executions: the call still happens, but its effect is
+// frustrated (a blocked persistence write, a denied driver drop).
+type Flip struct {
+	Mutated trace.APICall
+	Natural trace.APICall
+}
+
+// Diff is the result of aligning two traces.
+type Diff struct {
+	// DeltaM holds calls present only in the mutated trace.
+	DeltaM []trace.APICall
+	// DeltaN holds calls present only in the natural trace.
+	DeltaN []trace.APICall
+	// Flips holds aligned pairs whose success status changed.
+	Flips []Flip
+	// Aligned is the number of aligned call pairs.
+	Aligned int
+}
+
+// Empty reports whether the two traces aligned completely with no
+// result flips.
+func (d Diff) Empty() bool {
+	return len(d.DeltaM) == 0 && len(d.DeltaN) == 0 && len(d.Flips) == 0
+}
+
+// maxLCSCells bounds the LCS table size (memory ∝ cells). Pipeline
+// traces are hundreds of calls; a runaway sample looping on an API
+// could produce tens of thousands, and a quadratic table would exhaust
+// memory. Above the bound, Align falls back to the greedy anchor scan,
+// which is linear in memory and empirically agrees with LCS on
+// single-divergence traces (see the ablation).
+const maxLCSCells = 16 << 20
+
+// Align computes the difference sets between a mutated and a natural
+// call trace.
+func Align(mutated, natural []trace.APICall) Diff {
+	m, n := len(mutated), len(natural)
+	if m > 0 && n > 0 && m*n > maxLCSCells {
+		return AlignGreedy(mutated, natural)
+	}
+	keysM := make([]Key, m)
+	for i, c := range mutated {
+		keysM[i] = KeyOf(c)
+	}
+	keysN := make([]Key, n)
+	for i, c := range natural {
+		keysN[i] = KeyOf(c)
+	}
+
+	// LCS table over context keys.
+	lcs := make([][]int32, m+1)
+	for i := range lcs {
+		lcs[i] = make([]int32, n+1)
+	}
+	for i := m - 1; i >= 0; i-- {
+		for j := n - 1; j >= 0; j-- {
+			if keysM[i] == keysN[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	var d Diff
+	i, j := 0, 0
+	for i < m && j < n {
+		switch {
+		case keysM[i] == keysN[j]:
+			d.Aligned++
+			if mutated[i].Success != natural[j].Success {
+				d.Flips = append(d.Flips, Flip{Mutated: mutated[i], Natural: natural[j]})
+			}
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			d.DeltaM = append(d.DeltaM, mutated[i])
+			i++
+		default:
+			d.DeltaN = append(d.DeltaN, natural[j])
+			j++
+		}
+	}
+	d.DeltaM = append(d.DeltaM, mutated[i:]...)
+	d.DeltaN = append(d.DeltaN, natural[j:]...)
+	return d
+}
+
+// AlignTraces is Align over full traces.
+func AlignTraces(mutated, natural *trace.Trace) Diff {
+	return Align(mutated.Calls, natural.Calls)
+}
+
+// ContainsAPI reports whether any call in the set invokes one of the
+// named APIs.
+func ContainsAPI(calls []trace.APICall, apis ...string) bool {
+	for _, c := range calls {
+		for _, a := range apis {
+			if c.API == a {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// FilterAPI returns the calls matching any of the named APIs.
+func FilterAPI(calls []trace.APICall, apis ...string) []trace.APICall {
+	var out []trace.APICall
+	for _, c := range calls {
+		for _, a := range apis {
+			if c.API == a {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package alignment
+
+import "autovac/internal/trace"
+
+// AlignGreedy is the literal greedy-anchor alignment of the paper's
+// Algorithm 1: walk the mutated trace linearly; for each call, search
+// forward in the natural trace for the first call with an equivalent
+// execution context; everything skipped on either side lands in the
+// difference sets.
+//
+// It is kept alongside the LCS-based Align as an ablation baseline: the
+// greedy scan commits to the first match it finds, so a repeated context
+// early in the natural trace can consume the anchor a later region
+// needed, inflating the difference sets. The ablation benchmark and the
+// agreement property test quantify how often that matters on real
+// pipeline traces.
+func AlignGreedy(mutated, natural []trace.APICall) Diff {
+	keysN := make([]Key, len(natural))
+	for i, c := range natural {
+		keysN[i] = KeyOf(c)
+	}
+	var d Diff
+	j := 0
+	for i := 0; i < len(mutated); i++ {
+		km := KeyOf(mutated[i])
+		found := -1
+		for k := j; k < len(natural); k++ {
+			if keysN[k] == km {
+				found = k
+				break
+			}
+		}
+		if found < 0 {
+			d.DeltaM = append(d.DeltaM, mutated[i])
+			continue
+		}
+		// Natural calls skipped to reach the anchor are lost behaviour.
+		d.DeltaN = append(d.DeltaN, natural[j:found]...)
+		d.Aligned++
+		if mutated[i].Success != natural[found].Success {
+			d.Flips = append(d.Flips, Flip{Mutated: mutated[i], Natural: natural[found]})
+		}
+		j = found + 1
+	}
+	d.DeltaN = append(d.DeltaN, natural[j:]...)
+	return d
+}

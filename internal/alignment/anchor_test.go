@@ -1,0 +1,111 @@
+package alignment
+
+import (
+	"testing"
+	"testing/quick"
+
+	"autovac/internal/trace"
+)
+
+func TestAlignGreedyIdentical(t *testing.T) {
+	calls := []trace.APICall{call("A", 1), call("B", 2), call("C", 3)}
+	d := AlignGreedy(calls, calls)
+	if !d.Empty() || d.Aligned != 3 {
+		t.Errorf("self-alignment: %+v", d)
+	}
+}
+
+func TestAlignGreedyPrefixDivergence(t *testing.T) {
+	natural := []trace.APICall{call("A", 1), call("B", 2), call("C", 3)}
+	mutated := []trace.APICall{call("A", 1), call("X", 9)}
+	d := AlignGreedy(mutated, natural)
+	if d.Aligned != 1 || len(d.DeltaM) != 1 || len(d.DeltaN) != 2 {
+		t.Errorf("diff = aligned %d Δm %d Δn %d", d.Aligned, len(d.DeltaM), len(d.DeltaN))
+	}
+}
+
+func TestAlignGreedyFlips(t *testing.T) {
+	n := call("WriteFile", 4)
+	n.Success = true
+	m := call("WriteFile", 4)
+	m.Success = false
+	d := AlignGreedy([]trace.APICall{m}, []trace.APICall{n})
+	if len(d.Flips) != 1 {
+		t.Fatalf("flips = %d", len(d.Flips))
+	}
+}
+
+// Property: the greedy anchor alignment never aligns MORE pairs than
+// the LCS alignment (LCS is optimal), and both conserve trace sizes.
+func TestGreedyVsLCSProperties(t *testing.T) {
+	apis := []string{"A", "B", "C", "D"}
+	mk := func(idx []uint8) []trace.APICall {
+		out := make([]trace.APICall, len(idx))
+		for i, x := range idx {
+			out[i] = call(apis[int(x)%len(apis)], int(x)%5)
+		}
+		return out
+	}
+	f := func(a, b []uint8) bool {
+		ca, cb := mk(a), mk(b)
+		lcs := Align(ca, cb)
+		greedy := AlignGreedy(ca, cb)
+		if greedy.Aligned > lcs.Aligned {
+			return false
+		}
+		for _, d := range []Diff{lcs, greedy} {
+			if len(d.DeltaM)+d.Aligned != len(ca) || len(d.DeltaN)+d.Aligned != len(cb) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// On typical pipeline traces (one divergent region), greedy and LCS
+// agree exactly.
+func TestGreedyAgreesOnSingleDivergence(t *testing.T) {
+	natural := []trace.APICall{
+		call("OpenMutexA", 1, "m"), call("CreateMutexA", 4, "m"),
+		call("CreateFileA", 7, "f"), call("WriteFile", 9),
+		call("connect", 12, "cc:443"), call("send", 14), call("send", 14),
+	}
+	mutated := []trace.APICall{
+		call("OpenMutexA", 1, "m"), call("CreateMutexA", 4, "m"),
+		call("connect", 12, "cc:443"), call("send", 14), call("send", 14),
+	}
+	lcs := Align(mutated, natural)
+	greedy := AlignGreedy(mutated, natural)
+	if lcs.Aligned != greedy.Aligned ||
+		len(lcs.DeltaN) != len(greedy.DeltaN) ||
+		len(lcs.DeltaM) != len(greedy.DeltaM) {
+		t.Errorf("LCS %d/%d/%d vs greedy %d/%d/%d",
+			lcs.Aligned, len(lcs.DeltaM), len(lcs.DeltaN),
+			greedy.Aligned, len(greedy.DeltaM), len(greedy.DeltaN))
+	}
+}
+
+// The pathological case where greedy over-consumes: the mutated trace's
+// first call anchors to a late occurrence in the natural trace,
+// swallowing calls an optimal alignment would keep.
+func TestGreedyPathologicalCase(t *testing.T) {
+	// LCS aligns A,B (2 pairs: mutated's middle A and trailing B).
+	// Greedy anchors mutated's leading B to natural's only B, consuming
+	// A on the way, and can then align nothing else.
+	natural := []trace.APICall{call("A", 1), call("B", 2)}
+	mutated := []trace.APICall{call("B", 2), call("A", 1), call("B", 2)}
+	lcs := Align(mutated, natural)
+	greedy := AlignGreedy(mutated, natural)
+	if lcs.Aligned != 2 {
+		t.Errorf("LCS aligned = %d, want 2", lcs.Aligned)
+	}
+	if greedy.Aligned > lcs.Aligned {
+		t.Errorf("greedy %d > LCS %d (optimality violated)", greedy.Aligned, lcs.Aligned)
+	}
+	if greedy.Aligned == lcs.Aligned {
+		t.Errorf("expected greedy to under-align on this shape; got %d", greedy.Aligned)
+	}
+}

@@ -1,0 +1,132 @@
+// Package clinic implements the Malware Clinic Test of the paper's
+// §IV-D and §VI-E: before a vaccine ships, it is injected into a test
+// environment running the benign-software suite, and any interference
+// with normal program behaviour disqualifies it ("If it affects the
+// normal usage, it will be discarded").
+//
+// Interference is detected by differential analysis: each benign
+// program runs once in a clean environment and once in the vaccinated
+// one; if the two API traces fail to align completely, or the program's
+// exit status changes, the vaccine is rejected.
+package clinic
+
+import (
+	"fmt"
+
+	"autovac/internal/alignment"
+	"autovac/internal/deploy"
+	"autovac/internal/emu"
+	"autovac/internal/malware"
+	"autovac/internal/trace"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// Rejection explains why a vaccine failed the clinic test.
+type Rejection struct {
+	// Vaccine is the rejected vaccine's ID.
+	Vaccine string
+	// Program is the benign program it interfered with.
+	Program string
+	// Reason describes the interference.
+	Reason string
+}
+
+// String renders the rejection.
+func (r Rejection) String() string {
+	return fmt.Sprintf("%s interferes with %s: %s", r.Vaccine, r.Program, r.Reason)
+}
+
+// Report is the clinic-test outcome.
+type Report struct {
+	// Passed are the vaccines that did not disturb any benign program.
+	Passed []vaccine.Vaccine
+	// Rejected are the disqualified vaccines with their evidence.
+	Rejected []Rejection
+	// ProgramsTested is the size of the benign suite exercised.
+	ProgramsTested int
+}
+
+// Config parameterizes a clinic run.
+type Config struct {
+	// Seed drives the emulated executions.
+	Seed uint64
+	// MaxSteps bounds each benign execution.
+	MaxSteps int
+	// Identity is the test machine's identity.
+	Identity winenv.HostIdentity
+}
+
+// Run executes the clinic test: every candidate vaccine is deployed
+// (direct injection or daemon, per its delivery class) into an
+// environment exercising the whole benign suite. Vaccines are tested
+// individually so one bad vaccine cannot shadow another.
+func Run(vaccines []vaccine.Vaccine, benign []*malware.Sample, cfg Config) (*Report, error) {
+	if cfg.Identity == (winenv.HostIdentity{}) {
+		cfg.Identity = winenv.DefaultIdentity()
+	}
+	rep := &Report{ProgramsTested: len(benign)}
+
+	// Baseline traces per benign program, against a pristine host.
+	baselines := make([]*trace.Trace, len(benign))
+	for i, b := range benign {
+		env := winenv.New(cfg.Identity)
+		malware.PrepareBenignEnv(env)
+		tr, err := emu.Run(b.Program, env, emu.Options{Seed: cfg.Seed, MaxSteps: cfg.MaxSteps})
+		if err != nil {
+			return nil, fmt.Errorf("clinic: baseline %s: %w", b.Name(), err)
+		}
+		baselines[i] = tr
+	}
+
+	for i := range vaccines {
+		v := vaccines[i]
+		if rej := testOne(&v, benign, baselines, cfg); rej != nil {
+			rep.Rejected = append(rep.Rejected, *rej)
+		} else {
+			rep.Passed = append(rep.Passed, v)
+		}
+	}
+	return rep, nil
+}
+
+// testOne deploys a single vaccine and runs the suite against it. Each
+// benign program gets a freshly vaccinated environment (environment
+// clones do not carry interception hooks, and program runs must not
+// interfere with each other).
+func testOne(v *vaccine.Vaccine, benign []*malware.Sample, baselines []*trace.Trace, cfg Config) *Rejection {
+	for i, b := range benign {
+		env := winenv.New(cfg.Identity)
+		malware.PrepareBenignEnv(env)
+		d := deploy.NewDaemon(env, cfg.Seed)
+		if err := d.Install(*v); err != nil {
+			return &Rejection{Vaccine: v.ID, Reason: fmt.Sprintf("deployment failed: %v", err)}
+		}
+		tr, err := emu.Run(b.Program, env, emu.Options{Seed: cfg.Seed, MaxSteps: cfg.MaxSteps})
+		if err != nil {
+			return &Rejection{Vaccine: v.ID, Program: b.Name(), Reason: err.Error()}
+		}
+		if rej := compare(baselines[i], tr); rej != "" {
+			return &Rejection{Vaccine: v.ID, Program: b.Name(), Reason: rej}
+		}
+	}
+	return nil
+}
+
+// compare decides whether a vaccinated run deviates from the baseline.
+func compare(base, got *trace.Trace) string {
+	if base.Exit != got.Exit {
+		return fmt.Sprintf("exit changed: %v -> %v", base.Exit, got.Exit)
+	}
+	d := alignment.AlignTraces(got, base)
+	if !d.Empty() {
+		detail := ""
+		if len(d.DeltaN) > 0 {
+			detail = fmt.Sprintf("; lost %s", d.DeltaN[0].API)
+		} else if len(d.DeltaM) > 0 {
+			detail = fmt.Sprintf("; gained %s", d.DeltaM[0].API)
+		}
+		return fmt.Sprintf("trace diverged (Δ=%d/%d%s)", len(d.DeltaM), len(d.DeltaN), detail)
+	}
+	return ""
+}

@@ -1,0 +1,133 @@
+package clinic
+
+import (
+	"strings"
+	"testing"
+
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// suite returns a small benign suite (full corpus is exercised in the
+// integration tests; the clinic unit tests keep runtimes tight).
+func suite(t *testing.T, n int) []*malware.Sample {
+	t.Helper()
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > len(benign) {
+		n = len(benign)
+	}
+	return benign[:n]
+}
+
+func mkVaccine(kind winenv.ResourceKind, identifier string) vaccine.Vaccine {
+	return vaccine.Vaccine{
+		ID: "test/" + kind.String() + "/0", Sample: "test-sample",
+		Resource: kind, Identifier: identifier,
+		Class: determinism.Static, Op: "open", API: "OpenMutexA",
+		Effect: impact.Full, Polarity: vaccine.SimulatePresence,
+		Delivery: vaccine.DirectInjection,
+	}
+}
+
+func TestCleanVaccinePasses(t *testing.T) {
+	benign := suite(t, 8)
+	rep, err := Run([]vaccine.Vaccine{
+		mkVaccine(winenv.KindMutex, "!VoqA.I4"),
+		mkVaccine(winenv.KindFile, `C:\Windows\system32\sdra64.exe`),
+	}, benign, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 0 {
+		t.Fatalf("clean vaccines rejected: %v", rep.Rejected)
+	}
+	if len(rep.Passed) != 2 || rep.ProgramsTested != 8 {
+		t.Errorf("passed=%d tested=%d", len(rep.Passed), rep.ProgramsTested)
+	}
+}
+
+func TestCollidingMutexVaccineRejected(t *testing.T) {
+	// Firefox's single-instance mutex as a "vaccine" would make Firefox
+	// believe it is already running and exit.
+	benign := suite(t, 3) // firefox is first
+	rep, err := Run([]vaccine.Vaccine{
+		mkVaccine(winenv.KindMutex, "FirefoxSingletonMutex"),
+	}, benign, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 1 {
+		t.Fatalf("colliding vaccine not rejected: %+v", rep)
+	}
+	rej := rep.Rejected[0]
+	if rej.Program != "benign-firefox" {
+		t.Errorf("rejection = %+v", rej)
+	}
+	if !strings.Contains(rej.String(), "benign-firefox") {
+		t.Errorf("String() = %q", rej.String())
+	}
+}
+
+func TestBlockingBenignConfigRejected(t *testing.T) {
+	// Blocking access to a benign program's config file disturbs it.
+	benign := suite(t, 3)
+	v := mkVaccine(winenv.KindFile, `C:\Users\alice\AppData\firefox\profiles.ini`)
+	v.Polarity = vaccine.BlockAccess
+	rep, err := Run([]vaccine.Vaccine{v}, benign, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 1 {
+		t.Fatalf("config-blocking vaccine not rejected: %+v", rep.Passed)
+	}
+}
+
+func TestPartialStaticDaemonVaccineInClinic(t *testing.T) {
+	benign := suite(t, 6)
+	// A daemon pattern colliding with benign window classes must be
+	// rejected; an exclusive one passes.
+	bad := vaccine.Vaccine{
+		ID: "bad/window/0", Sample: "s",
+		Resource: winenv.KindWindow, Pattern: "Mozilla*",
+		Class: determinism.PartialStatic, Op: "create", API: "CreateWindowExA",
+		Effect: impact.Full, Polarity: vaccine.BlockAccess,
+		Delivery: vaccine.VaccineDaemon,
+	}
+	good := vaccine.Vaccine{
+		ID: "good/mutex/0", Sample: "s",
+		Resource: winenv.KindMutex, Pattern: "WORMX-*",
+		Class: determinism.PartialStatic, Op: "create", API: "CreateMutexA",
+		Effect: impact.Full, Polarity: vaccine.SimulatePresence,
+		Delivery: vaccine.VaccineDaemon,
+	}
+	rep, err := Run([]vaccine.Vaccine{bad, good}, benign, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rejected) != 1 || rep.Rejected[0].Vaccine != "bad/window/0" {
+		t.Fatalf("rejections = %+v", rep.Rejected)
+	}
+	if len(rep.Passed) != 1 || rep.Passed[0].ID != "good/mutex/0" {
+		t.Fatalf("passed = %+v", rep.Passed)
+	}
+}
+
+func TestOneBadVaccineDoesNotShadowOthers(t *testing.T) {
+	benign := suite(t, 3)
+	rep, err := Run([]vaccine.Vaccine{
+		mkVaccine(winenv.KindMutex, "FirefoxSingletonMutex"), // bad
+		mkVaccine(winenv.KindMutex, "!VoqA.I4"),              // good
+	}, benign, Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Passed) != 1 || len(rep.Rejected) != 1 {
+		t.Fatalf("passed=%d rejected=%d", len(rep.Passed), len(rep.Rejected))
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"autovac/internal/malware"
+)
+
+// TestAnalyzeDeterministic: the pipeline is fully deterministic in its
+// seed — two analyses of the same sample produce identical vaccine sets.
+func TestAnalyzeDeterministic(t *testing.T) {
+	sample := familySample(t, malware.Sality)
+	run := func() []string {
+		p := New(Config{Seed: 31})
+		res, err := p.Analyze(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for _, v := range res.Vaccines {
+			out = append(out, v.String())
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("vaccine counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("vaccine %d differs:\n%s\n%s", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no vaccines")
+	}
+}
+
+// TestDifferentSeedsStillFindCoreVaccines: the headline vaccines are not
+// seed artifacts.
+func TestDifferentSeedsStillFindCoreVaccines(t *testing.T) {
+	sample := familySample(t, malware.PoisonIvy)
+	for _, seed := range []uint64{1, 99, 12345} {
+		p := New(Config{Seed: seed})
+		res, err := p.Analyze(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, v := range res.Vaccines {
+			if v.Identifier == "!VoqA.I4" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("seed %d: !VoqA.I4 vaccine missing", seed)
+		}
+	}
+}
+
+// TestConfigDefaults: zero-value config fields get defaults.
+func TestConfigDefaults(t *testing.T) {
+	p := New(Config{})
+	if p.cfg.Phase1Steps != DefaultPhase1Steps || p.cfg.BDRSteps != DefaultBDRSteps {
+		t.Errorf("defaults not applied: %+v", p.cfg)
+	}
+	if p.cfg.Identity.ComputerName == "" {
+		t.Error("identity default not applied")
+	}
+	if p.Seed() != 0 || p.Identity().ComputerName == "" {
+		t.Error("accessors wrong")
+	}
+	if p.Registry() == nil {
+		t.Error("registry accessor nil")
+	}
+}
+
+// TestMergeOps covers the op-union helper.
+func TestMergeOps(t *testing.T) {
+	cases := []struct{ a, b, want string }{
+		{"open", "create", "open,create"},
+		{"open,create", "open", "open,create"},
+		{"", "write", "write"},
+		{"read", "", "read"},
+	}
+	for _, tc := range cases {
+		if got := mergeOps(tc.a, tc.b); got != tc.want {
+			t.Errorf("mergeOps(%q,%q) = %q, want %q", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestPhase1StepBudget: an aggressive step limit truncates profiling
+// without error (the paper's 1-minute cap analogue).
+func TestPhase1StepBudget(t *testing.T) {
+	sample := familySample(t, malware.Conficker)
+	p := New(Config{Seed: 3, Phase1Steps: 25})
+	prof, err := p.Phase1(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Normal.StepCount > 25 {
+		t.Errorf("step budget exceeded: %d", prof.Normal.StepCount)
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"testing"
+
+	"autovac/internal/isa"
+	"autovac/internal/malware"
+)
+
+// TestUnresolvedIdentifierCandidateRejected: a sample branching on an
+// operation whose identifier cannot be resolved (a stale handle) must
+// be rejected cleanly, not abort the analysis.
+func TestUnresolvedIdentifierCandidateRejected(t *testing.T) {
+	b := isa.NewBuilder("stale-handle")
+	b.Buf("buf", 8)
+	// WriteFile on a never-opened handle: the via-handle identifier
+	// resolution fails, the result is still tainted and checked.
+	b.CallAPI("WriteFile", isa.Imm(0xBEEF), isa.Sym("buf"), isa.Imm(4))
+	b.Test(isa.R(isa.EAX), isa.R(isa.EAX))
+	b.Jz("skip")
+	b.Label("skip")
+	b.Halt()
+	sample := &malware.Sample{
+		Spec:    &malware.Spec{Name: "stale-handle", Category: malware.Trojan},
+		Program: b.MustBuild(),
+	}
+	p := New(Config{Seed: 2})
+	res, err := p.Analyze(sample)
+	if err != nil {
+		t.Fatalf("analysis aborted: %v", err)
+	}
+	if len(res.Vaccines) != 0 {
+		t.Errorf("vaccines from unresolved identifier: %+v", res.Vaccines)
+	}
+	found := false
+	for _, r := range res.Rejected {
+		if r.Reason == "unresolved resource identifier" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no unresolved-identifier rejection: %+v", res.Rejected)
+	}
+}
+
+// TestFaultingSampleAnalyzed: a sample that crashes mid-run is an
+// observation, not a pipeline error.
+func TestFaultingSampleAnalyzed(t *testing.T) {
+	b := isa.NewBuilder("crasher")
+	b.RData("m", "CRASH.MARKER")
+	b.CallAPI("OpenMutexA", isa.Sym("m"))
+	b.Test(isa.R(isa.EAX), isa.R(isa.EAX))
+	b.Jnz("infected")
+	b.Mov(isa.R(isa.EAX), isa.MemAbs(0xDEAD0000)).Comment("wild read")
+	b.Halt()
+	b.Label("infected")
+	b.CallAPI("ExitProcess", isa.Imm(0))
+	sample := &malware.Sample{
+		Spec:    &malware.Spec{Name: "crasher", Category: malware.Trojan},
+		Program: b.MustBuild(),
+	}
+	p := New(Config{Seed: 2})
+	res, err := p.Analyze(sample)
+	if err != nil {
+		t.Fatalf("analysis aborted on crashing sample: %v", err)
+	}
+	// The marker probe is a candidate; simulating its presence makes
+	// the sample exit BEFORE the crash — a full-immunization (and
+	// crash-avoiding) vaccine.
+	if len(res.Vaccines) == 0 {
+		t.Fatalf("no vaccine from crashing sample; rejected: %+v", res.Rejected)
+	}
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"autovac/internal/malware"
+)
+
+// AnalyzeAll analyses a corpus with a bounded worker pool. The pipeline
+// is immutable and every execution builds its own environment, so
+// samples are embarrassingly parallel; results come back indexed by
+// sample, identical to a serial run (workers only change wall-clock
+// time, never output — the determinism tests pin this).
+//
+// workers <= 0 selects GOMAXPROCS. The first error cancels nothing
+// in-flight but is reported after all workers drain (partial results
+// are discarded on error).
+func (p *Pipeline) AnalyzeAll(samples []*malware.Sample, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(samples) {
+		workers = len(samples)
+	}
+	if workers <= 1 {
+		// Serial fast path.
+		out := make([]*Result, len(samples))
+		for i, s := range samples {
+			res, err := p.Analyze(s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+
+	results := make([]*Result, len(samples))
+	errs := make([]error, len(samples))
+	indexes := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indexes {
+				results[i], errs[i] = p.Analyze(samples[i])
+			}
+		}()
+	}
+	for i := range samples {
+		indexes <- i
+	}
+	close(indexes)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: analysing %s: %w", samples[i].Name(), err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"autovac/internal/malware"
+)
+
+// corpus builds a small deterministic corpus.
+func corpus(t *testing.T, n int) []*malware.Sample {
+	t.Helper()
+	samples, err := malware.NewGenerator(17).Corpus(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// fingerprintResults renders results into comparable strings.
+func fingerprintResults(rs []*Result) []string {
+	out := make([]string, 0, len(rs))
+	for _, r := range rs {
+		line := r.Profile.Sample.Name() + ":"
+		for _, v := range r.Vaccines {
+			line += " " + v.String()
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+func TestAnalyzeAllMatchesSerial(t *testing.T) {
+	samples := corpus(t, 24)
+	p := New(Config{Seed: 5})
+
+	serial, err := p.AnalyzeAll(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		parallel, err := p.AnalyzeAll(samples, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := fingerprintResults(serial), fingerprintResults(parallel)
+		if len(a) != len(b) {
+			t.Fatalf("workers=%d: %d vs %d results", workers, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("workers=%d sample %d differs:\n  %s\n  %s", workers, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestAnalyzeAllDefaultsWorkers(t *testing.T) {
+	samples := corpus(t, 6)
+	p := New(Config{Seed: 5})
+	rs, err := p.AnalyzeAll(samples, 0) // GOMAXPROCS, clamped to len
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(samples) {
+		t.Fatalf("results = %d", len(rs))
+	}
+	for i, r := range rs {
+		if r == nil || r.Profile.Sample != samples[i] {
+			t.Fatalf("result %d out of order", i)
+		}
+	}
+}
+
+func TestAnalyzeAllEmpty(t *testing.T) {
+	p := New(Config{Seed: 5})
+	rs, err := p.AnalyzeAll(nil, 4)
+	if err != nil || len(rs) != 0 {
+		t.Errorf("empty corpus: %v, %v", rs, err)
+	}
+}

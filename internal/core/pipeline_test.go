@@ -1,0 +1,318 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"autovac/internal/determinism"
+	"autovac/internal/exclusive"
+	"autovac/internal/impact"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// pipelineWithIndex builds a pipeline with a benign index (no clinic,
+// for speed; the clinic path is covered separately).
+func pipelineWithIndex(t *testing.T) *Pipeline {
+	t.Helper()
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := exclusive.BuildIndex(benign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(Config{Seed: 9, Index: ix})
+}
+
+func familySample(t *testing.T, f malware.Family) *malware.Sample {
+	t.Helper()
+	s, err := malware.NewGenerator(1).FamilySample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func findVaccine(vs []vaccine.Vaccine, kind winenv.ResourceKind, ident string) *vaccine.Vaccine {
+	for i := range vs {
+		if vs[i].Resource == kind && strings.EqualFold(vs[i].Identifier, ident) {
+			return &vs[i]
+		}
+	}
+	return nil
+}
+
+func TestPhase1FlagsResourceSensitiveSample(t *testing.T) {
+	p := New(Config{Seed: 9})
+	prof, err := p.Phase1(familySample(t, malware.PoisonIvy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prof.HasVaccineCandidates() {
+		t.Fatal("PoisonIvy not flagged")
+	}
+	if prof.ResourceOccurrences == 0 || prof.SensitiveOccurrences == 0 {
+		t.Errorf("occurrences = %d/%d", prof.SensitiveOccurrences, prof.ResourceOccurrences)
+	}
+	if prof.SensitiveOccurrences > prof.ResourceOccurrences {
+		t.Error("sensitive > total")
+	}
+	// The marker mutex probe is among the candidates.
+	found := false
+	for _, c := range prof.Candidates {
+		if c.Call.API == "OpenMutexA" && c.Call.Identifier == "!VoqA.I4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("!VoqA.I4 probe not a candidate: %+v", prof.Candidates)
+	}
+}
+
+func TestPhase1InsensitiveSampleNotFlagged(t *testing.T) {
+	spec := &malware.Spec{Name: "insensitive", Category: malware.Downloader,
+		Behaviors: []malware.Behavior{
+			{Kind: malware.BehPersistRun, ID: `C:\x.exe`, Aux: "x", Unchecked: true},
+			{Kind: malware.BehNetworkCC, ID: "cc.example", Aux: "80", Count: 1, Unchecked: true},
+		}}
+	prog := malware.MustEmit(spec)
+	s := &malware.Sample{Spec: spec, Program: prog}
+	p := New(Config{Seed: 9})
+	prof, err := p.Phase1(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.HasVaccineCandidates() {
+		t.Errorf("insensitive sample flagged: %+v", prof.Candidates)
+	}
+	if prof.ResourceOccurrences == 0 {
+		t.Error("no resource occurrences counted")
+	}
+}
+
+func TestAnalyzeZeus(t *testing.T) {
+	p := pipelineWithIndex(t)
+	res, err := p.Analyze(familySample(t, malware.Zeus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vaccines) < 3 {
+		t.Fatalf("Zeus vaccines = %d, want >= 3:\n%+v\nrejected: %+v",
+			len(res.Vaccines), res.Vaccines, res.Rejected)
+	}
+
+	// sdra64.exe: full immunization file vaccine (Table III seq 10).
+	file := findVaccine(res.Vaccines, winenv.KindFile, `C:\Windows\system32\sdra64.exe`)
+	if file == nil {
+		t.Fatal("sdra64.exe vaccine missing")
+	}
+	if file.Effect != impact.Full {
+		t.Errorf("sdra64 effect = %v, want Full", file.Effect)
+	}
+	if file.Class != determinism.Static || file.Delivery != vaccine.DirectInjection {
+		t.Errorf("sdra64 class/delivery = %v/%v", file.Class, file.Delivery)
+	}
+
+	// _AVIRA_2109: partial immunization mutex vaccine (Table VI).
+	mtx := findVaccine(res.Vaccines, winenv.KindMutex, "_AVIRA_2109")
+	if mtx == nil {
+		t.Fatal("_AVIRA_2109 vaccine missing")
+	}
+	if mtx.Effect == impact.Full || mtx.Effect == impact.NoImmunization {
+		t.Errorf("_AVIRA_2109 effect = %v, want partial", mtx.Effect)
+	}
+	if mtx.Polarity != vaccine.SimulatePresence {
+		t.Errorf("_AVIRA_2109 polarity = %v", mtx.Polarity)
+	}
+}
+
+func TestAnalyzeConfickerAlgorithmic(t *testing.T) {
+	p := pipelineWithIndex(t)
+	res, err := p.Analyze(familySample(t, malware.Conficker))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var algo *vaccine.Vaccine
+	for i := range res.Vaccines {
+		if res.Vaccines[i].Resource == winenv.KindMutex &&
+			res.Vaccines[i].Class == determinism.AlgorithmDeterministic {
+			algo = &res.Vaccines[i]
+		}
+	}
+	if algo == nil {
+		t.Fatalf("no algorithm-deterministic mutex vaccine; got %+v (rejected %+v)",
+			res.Vaccines, res.Rejected)
+	}
+	if algo.Slice == nil {
+		t.Fatal("algorithmic vaccine without slice")
+	}
+	if algo.Delivery != vaccine.VaccineDaemon {
+		t.Errorf("delivery = %v", algo.Delivery)
+	}
+	// The slice regenerates the per-host name on a foreign host.
+	other := winenv.DefaultIdentity()
+	other.ComputerName = "BRANCH-POS-9"
+	got, err := algo.Slice.Replay(winenv.New(other), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != `Global\BRANCH-POS-9-7` {
+		t.Errorf("cross-host replay = %q", got)
+	}
+}
+
+func TestAnalyzePoisonIvyFullMarker(t *testing.T) {
+	p := pipelineWithIndex(t)
+	res, err := p.Analyze(familySample(t, malware.PoisonIvy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtx := findVaccine(res.Vaccines, winenv.KindMutex, "!VoqA.I4")
+	if mtx == nil {
+		t.Fatalf("!VoqA.I4 vaccine missing; got %+v", res.Vaccines)
+	}
+	if mtx.Effect != impact.Full {
+		t.Errorf("effect = %v, want Full", mtx.Effect)
+	}
+}
+
+func TestCollidingIdentifierRejectedByExclusiveness(t *testing.T) {
+	p := pipelineWithIndex(t)
+	spec := &malware.Spec{Name: "collider", Category: malware.Backdoor,
+		Behaviors: []malware.Behavior{
+			{Kind: malware.BehMarkerMutex, ID: "MSCTF.Shared.MUTEX.001"},
+			{Kind: malware.BehNetworkCC, ID: "cc.example", Aux: "80", Count: 1},
+		}}
+	s := &malware.Sample{Spec: spec, Program: malware.MustEmit(spec)}
+	res, err := p.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if findVaccine(res.Vaccines, winenv.KindMutex, "MSCTF.Shared.MUTEX.001") != nil {
+		t.Fatal("benign-colliding mutex became a vaccine")
+	}
+	found := false
+	for _, r := range res.Rejected {
+		if r.Stage == "exclusiveness" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no exclusiveness rejection recorded: %+v", res.Rejected)
+	}
+}
+
+func TestRandomIdentifierRejectedByDeterminism(t *testing.T) {
+	p := New(Config{Seed: 9})
+	spec := &malware.Spec{Name: "rndtemp", Category: malware.Downloader,
+		Behaviors: []malware.Behavior{{Kind: malware.BehRandomTemp}}}
+	s := &malware.Sample{Spec: spec, Program: malware.MustEmit(spec)}
+	res, err := p.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.Vaccines {
+		if strings.Contains(v.Identifier, `C:\Temp\mal`) {
+			t.Fatalf("random temp identifier became a vaccine: %+v", v)
+		}
+	}
+}
+
+func TestPartialStaticVaccineGeneration(t *testing.T) {
+	p := pipelineWithIndex(t)
+	spec := &malware.Spec{Name: "pworm2", Category: malware.Worm,
+		Behaviors: []malware.Behavior{
+			{Kind: malware.BehPartialMutex, ID: "GTSKI"},
+			{Kind: malware.BehNetworkCC, ID: "w.example", Aux: "445", Count: 2},
+		}}
+	s := &malware.Sample{Spec: spec, Program: malware.MustEmit(spec)}
+	res, err := p.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ps *vaccine.Vaccine
+	for i := range res.Vaccines {
+		if res.Vaccines[i].Class == determinism.PartialStatic {
+			ps = &res.Vaccines[i]
+		}
+	}
+	if ps == nil {
+		t.Fatalf("no partial-static vaccine; got %+v (rejected %+v)", res.Vaccines, res.Rejected)
+	}
+	if !strings.HasPrefix(ps.Pattern, "GTSKI-") || !strings.Contains(ps.Pattern, "*") {
+		t.Errorf("pattern = %q", ps.Pattern)
+	}
+	if ps.Delivery != vaccine.VaccineDaemon {
+		t.Errorf("delivery = %v", ps.Delivery)
+	}
+}
+
+func TestVaccineMergingCombinesOps(t *testing.T) {
+	// IBank checks AND creates dwdsregt.exe: one merged vaccine with
+	// both operations (Table III's "C,E,R" style).
+	p := pipelineWithIndex(t)
+	res, err := p.Analyze(familySample(t, malware.IBank))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := findVaccine(res.Vaccines, winenv.KindFile, `C:\Windows\system32\dwdsregt.exe`)
+	if v == nil {
+		t.Fatalf("dwdsregt.exe vaccine missing; got %+v", res.Vaccines)
+	}
+	if !strings.Contains(v.Op, "query") || !strings.Contains(v.Op, "create") {
+		t.Errorf("merged ops = %q, want query+create", v.Op)
+	}
+	if v.Effect != impact.Full {
+		t.Errorf("effect = %v", v.Effect)
+	}
+}
+
+func TestEndToEndImmunization(t *testing.T) {
+	// The generated vaccines actually immunize a fresh host.
+	p := pipelineWithIndex(t)
+	s := familySample(t, malware.PoisonIvy)
+	res, err := p.Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vaccines) == 0 {
+		t.Fatal("no vaccines")
+	}
+	host := winenv.New(winenv.DefaultIdentity())
+	d := p.NewDaemonFor(host)
+	for _, v := range res.Vaccines {
+		if err := d.Install(v); err != nil {
+			t.Fatalf("deploy %s: %v", v.ID, err)
+		}
+	}
+	bdr, err := p.MeasureBDR(s, &res.Vaccines[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdr <= 0 {
+		t.Errorf("BDR = %v, want > 0", bdr)
+	}
+}
+
+func TestClinicIntegration(t *testing.T) {
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := exclusive.BuildIndex(benign, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clinic with a small suite to keep the test fast.
+	p := New(Config{Seed: 9, Index: ix, Benign: benign[:6]})
+	res, err := p.Analyze(familySample(t, malware.Zeus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Vaccines) == 0 {
+		t.Fatalf("clinic rejected everything: %+v", res.ClinicRejections)
+	}
+}

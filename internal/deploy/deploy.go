@@ -1,0 +1,262 @@
+// Package deploy implements AUTOVAC's Phase-III (paper §V): delivering
+// vaccines to end hosts. Static and algorithm-deterministic vaccines
+// deploy by one-time direct injection (creating privilege-restricted
+// resources, replaying identifier-generation slices once per host);
+// partial-static vaccines deploy through a resident vaccine daemon that
+// intercepts resource operations and matches identifiers against
+// wildcard patterns.
+package deploy
+
+import (
+	"fmt"
+	"sync"
+
+	"autovac/internal/determinism"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// fakeHandle is the plausible handle value daemon interceptions return.
+const fakeHandle winenv.Handle = 0x00DD000C
+
+// ResolveIdentifier produces the concrete identifier a vaccine protects
+// on the given host: the static value, or the slice replay's output for
+// algorithm-deterministic vaccines ("we collect these information ahead
+// and run the captured program slice", §V).
+func ResolveIdentifier(env *winenv.Env, v *vaccine.Vaccine, seed uint64) (string, error) {
+	switch v.Class {
+	case determinism.Static:
+		return v.Identifier, nil
+	case determinism.AlgorithmDeterministic:
+		if v.Slice == nil {
+			return "", fmt.Errorf("deploy: %s: missing slice", v.ID)
+		}
+		// Replay against a clone: the slice must not perturb the live
+		// host while computing the name.
+		ident, err := v.Slice.Replay(env.Clone(), seed)
+		if err != nil {
+			return "", fmt.Errorf("deploy: %s: %w", v.ID, err)
+		}
+		return ident, nil
+	default:
+		return "", fmt.Errorf("deploy: %s: %s identifiers resolve per-operation in the daemon", v.ID, v.Class)
+	}
+}
+
+// Inject performs one-time direct injection of a static or
+// algorithm-deterministic vaccine into a host environment.
+//
+// SimulatePresence plants the resource (marker) with an ACL that
+// prevents the malware from deleting or overwriting it; BlockAccess
+// plants a super-user-owned placeholder that refuses every operation,
+// the §VI-D sdra64.exe strategy.
+func Inject(env *winenv.Env, v *vaccine.Vaccine, seed uint64) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if v.Class == determinism.PartialStatic {
+		return fmt.Errorf("deploy: %s: partial-static vaccines require the daemon", v.ID)
+	}
+	ident, err := ResolveIdentifier(env, v, seed)
+	if err != nil {
+		return err
+	}
+	res := winenv.Resource{
+		Kind:  v.Resource,
+		Name:  ident,
+		Owner: "vaccine",
+	}
+	switch v.Polarity {
+	case vaccine.SimulatePresence:
+		res.ACL = winenv.DenyOps(winenv.OpDelete, winenv.OpWrite)
+	case vaccine.BlockAccess:
+		res.ACL = winenv.DenyAll()
+	}
+	env.Inject(res)
+	return nil
+}
+
+// InjectAll injects a set of vaccines, returning the first error.
+func InjectAll(env *winenv.Env, vaccines []vaccine.Vaccine, seed uint64) error {
+	for i := range vaccines {
+		v := &vaccines[i]
+		if v.Delivery == vaccine.VaccineDaemon && v.Class == determinism.PartialStatic {
+			// Daemon-only vaccines are skipped here; use a Daemon.
+			continue
+		}
+		if err := Inject(env, v, seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove deletes a previously injected vaccine resource.
+func Remove(env *winenv.Env, v *vaccine.Vaccine, seed uint64) error {
+	ident, err := ResolveIdentifier(env, v, seed)
+	if err != nil {
+		return err
+	}
+	env.Remove(v.Resource, ident)
+	return nil
+}
+
+// Daemon is the resident vaccine service (§V "Vaccine Daemon"): it
+// intercepts resource operations on the host, matches identifiers
+// against partial-static patterns, and periodically re-generates
+// algorithm-deterministic identifiers when host facts change.
+//
+// Daemon methods are safe for concurrent use.
+type Daemon struct {
+	mu   sync.Mutex
+	env  *winenv.Env
+	seed uint64
+	// patterned holds the daemon-matched vaccines, indexed by resource
+	// kind so an operation only scans patterns of its own namespace.
+	patterned map[winenv.ResourceKind][]vaccine.Vaccine
+	// replayed holds the algorithm-deterministic vaccines the daemon
+	// keeps fresh, with their last resolved identifiers.
+	replayed map[string]string // vaccine ID -> identifier
+	byID     map[string]vaccine.Vaccine
+	// intercepts counts hook decisions, for the overhead evaluation.
+	intercepts int
+	inspected  int
+	installed  bool
+}
+
+// NewDaemon creates a daemon bound to a host environment.
+func NewDaemon(env *winenv.Env, seed uint64) *Daemon {
+	return &Daemon{
+		env:       env,
+		seed:      seed,
+		patterned: make(map[winenv.ResourceKind][]vaccine.Vaccine),
+		replayed:  make(map[string]string),
+		byID:      make(map[string]vaccine.Vaccine),
+	}
+}
+
+// Install registers a vaccine with the daemon. Partial-static vaccines
+// become interception patterns; algorithm-deterministic vaccines are
+// resolved and injected, and re-resolved on Refresh; static vaccines
+// are injected directly.
+func (d *Daemon) Install(v vaccine.Vaccine) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.byID[v.ID] = v
+	switch v.Class {
+	case determinism.PartialStatic:
+		d.patterned[v.Resource] = append(d.patterned[v.Resource], v)
+		d.ensureHook()
+		return nil
+	case determinism.AlgorithmDeterministic:
+		ident, err := ResolveIdentifier(d.env, &v, d.seed)
+		if err != nil {
+			return err
+		}
+		d.replayed[v.ID] = ident
+		d.injectConcrete(v, ident)
+		return nil
+	default:
+		ident, err := ResolveIdentifier(d.env, &v, d.seed)
+		if err != nil {
+			return err
+		}
+		d.injectConcrete(v, ident)
+		return nil
+	}
+}
+
+// injectConcrete plants a concrete resource for a vaccine.
+func (d *Daemon) injectConcrete(v vaccine.Vaccine, ident string) {
+	res := winenv.Resource{Kind: v.Resource, Name: ident, Owner: "vaccine"}
+	if v.Polarity == vaccine.BlockAccess {
+		res.ACL = winenv.DenyAll()
+	} else {
+		res.ACL = winenv.DenyOps(winenv.OpDelete, winenv.OpWrite)
+	}
+	d.env.Inject(res)
+}
+
+// ensureHook registers the daemon's single interception hook once.
+func (d *Daemon) ensureHook() {
+	if d.installed {
+		return
+	}
+	d.installed = true
+	d.env.AddHook(d.intercept)
+}
+
+// intercept is the daemon's resource-operation hook: it resolves the
+// operation's identifier and answers with the predefined result when a
+// partial-static pattern matches (§V: "If the daemon monitors that a
+// resource identifier matches with our partial static vaccine, it will
+// return the predefined result to stop the malware execution").
+func (d *Daemon) intercept(req winenv.Request) *winenv.Result {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inspected++
+	kindPatterns := d.patterned[req.Kind]
+	for i := range kindPatterns {
+		v := &kindPatterns[i]
+		if !determinism.MatchPattern(v.Pattern, req.Name) {
+			continue
+		}
+		d.intercepts++
+		if v.Polarity == vaccine.BlockAccess {
+			return &winenv.Result{Err: winenv.ErrAccessDenied}
+		}
+		// Simulate presence.
+		switch req.Op {
+		case winenv.OpCreate:
+			return &winenv.Result{OK: true, Err: winenv.ErrAlreadyExists, Handle: fakeHandle}
+		case winenv.OpOpen, winenv.OpQuery, winenv.OpRead:
+			return &winenv.Result{OK: true, Handle: fakeHandle}
+		default:
+			return &winenv.Result{Err: winenv.ErrAccessDenied}
+		}
+	}
+	return nil
+}
+
+// Refresh re-resolves every algorithm-deterministic vaccine against the
+// current host facts and re-injects those whose identifier changed
+// ("our daemon process runs periodically to check whether the input has
+// been changed and the vaccine needs to be re-generated", §V). It
+// returns the number of re-generated vaccines.
+func (d *Daemon) Refresh() (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	changed := 0
+	for id, old := range d.replayed {
+		v := d.byID[id]
+		ident, err := ResolveIdentifier(d.env, &v, d.seed)
+		if err != nil {
+			return changed, err
+		}
+		if ident == old {
+			continue
+		}
+		d.env.Remove(v.Resource, old)
+		d.injectConcrete(v, ident)
+		d.replayed[id] = ident
+		changed++
+	}
+	return changed, nil
+}
+
+// Stats returns (operations inspected, operations intercepted).
+func (d *Daemon) Stats() (inspected, intercepted int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.inspected, d.intercepts
+}
+
+// VaccineCount returns the number of installed vaccines.
+func (d *Daemon) VaccineCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byID)
+}

@@ -1,0 +1,73 @@
+package determinism
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// refMatch is a reference implementation of the wildcard matcher built
+// on the stdlib regexp engine.
+func refMatch(pattern, s string) bool {
+	var re strings.Builder
+	re.WriteString("(?i)^")
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == '*' {
+			re.WriteString(".*")
+		} else {
+			re.WriteString(regexp.QuoteMeta(string(pattern[i])))
+		}
+	}
+	re.WriteString("$")
+	return regexp.MustCompile(re.String()).MatchString(s)
+}
+
+// TestMatchPatternAgainstRegexpReference cross-checks the backtracking
+// matcher against the regexp reference on random inputs drawn from a
+// small alphabet (small alphabets maximize collision and backtracking
+// pressure).
+func TestMatchPatternAgainstRegexpReference(t *testing.T) {
+	alphabet := []byte("ab*A-")
+	mk := func(raw []byte, n int) string {
+		if len(raw) > n {
+			raw = raw[:n]
+		}
+		out := make([]byte, len(raw))
+		for i, b := range raw {
+			out[i] = alphabet[int(b)%len(alphabet)]
+		}
+		return string(out)
+	}
+	f := func(p, s []byte) bool {
+		pattern := mk(p, 12)
+		// The subject must not contain '*' (identifiers never do).
+		subject := strings.ReplaceAll(mk(s, 16), "*", "x")
+		return MatchPattern(pattern, subject) == refMatch(pattern, subject)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatchPatternBacktrackingStress(t *testing.T) {
+	// Pathological backtracking input still terminates quickly.
+	pattern := "a*a*a*a*a*a*b"
+	subject := strings.Repeat("a", 64)
+	if MatchPattern(pattern, subject) {
+		t.Error("matched impossible pattern")
+	}
+	if !MatchPattern(pattern, strings.Repeat("a", 64)+"b") {
+		t.Error("missed possible pattern")
+	}
+}
+
+func BenchmarkMatchPattern(b *testing.B) {
+	pattern := "WORMX-*-stage-*"
+	subject := "WORMX-9f3ac2-stage-payload"
+	for i := 0; i < b.N; i++ {
+		if !MatchPattern(pattern, subject) {
+			b.Fatal("no match")
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package emu
+
+import (
+	"fmt"
+
+	"autovac/internal/isa"
+	"autovac/internal/taint"
+	"autovac/internal/trace"
+)
+
+// Execute runs the program to completion and returns the trace. Runtime
+// faults (bad memory, unknown APIs, stack underflow) terminate the run
+// with ExitFault recorded in the trace rather than returning an error:
+// a crashing malware sample is an observation, not an analysis failure.
+func (c *CPU) Execute() *trace.Trace {
+	for !c.done {
+		if c.tr.StepCount >= c.opts.MaxSteps {
+			c.exitKind = trace.ExitLimit
+			break
+		}
+		if c.pc < 0 || c.pc >= len(c.prog.Instrs) {
+			if c.pc == len(c.prog.Instrs) {
+				// Falling off the end is a normal stop.
+				c.exitKind = trace.ExitHalt
+			} else {
+				c.faultf("pc %d out of range", c.pc)
+			}
+			break
+		}
+		if err := c.step(); err != nil {
+			c.faultf("%v", err)
+			break
+		}
+	}
+	c.tr.Exit = c.exitKind
+	c.tr.ExitCode = c.exitCode
+	c.tr.Fault = c.fault
+	c.tr.Sources = c.table.All()
+	return c.tr
+}
+
+// faultf ends execution with a fault.
+func (c *CPU) faultf(format string, args ...interface{}) {
+	c.done = true
+	c.exitKind = trace.ExitFault
+	c.fault = fmt.Sprintf(format, args...)
+}
+
+// step executes one instruction.
+func (c *CPU) step() error {
+	in := c.prog.Instrs[c.pc]
+	pc := c.pc
+	c.tr.StepCount++
+
+	if c.opts.RecordSteps {
+		c.curReads = c.curReads[:0]
+		c.curWrites = c.curWrites[:0]
+	}
+	apiSeq := -1
+	taken := false
+
+	next := pc + 1
+	switch in.Op {
+	case isa.NOP:
+
+	case isa.MOV:
+		v, t, err := c.readOperand(in.Src)
+		if err != nil {
+			return err
+		}
+		if err := c.writeOperand(in.Dst, v, t); err != nil {
+			return err
+		}
+
+	case isa.MOVB:
+		v, t, err := c.readOperandByte(in.Src)
+		if err != nil {
+			return err
+		}
+		if err := c.writeOperandByte(in.Dst, v, t); err != nil {
+			return err
+		}
+
+	case isa.LEA:
+		addr, t, err := c.effectiveAddr(in.Src)
+		if err != nil {
+			return err
+		}
+		if err := c.writeOperand(in.Dst, addr, t); err != nil {
+			return err
+		}
+
+	case isa.PUSH:
+		v, t, err := c.readOperand(in.Dst)
+		if err != nil {
+			return err
+		}
+		if err := c.push(v, t); err != nil {
+			return err
+		}
+
+	case isa.POP:
+		v, t, err := c.pop()
+		if err != nil {
+			return err
+		}
+		if err := c.writeOperand(in.Dst, v, t); err != nil {
+			return err
+		}
+
+	case isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR, isa.SHL, isa.SHR:
+		a, ta, err := c.readOperand(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, tb, err := c.readOperand(in.Src)
+		if err != nil {
+			return err
+		}
+		var v uint32
+		switch in.Op {
+		case isa.ADD:
+			v = a + b
+		case isa.SUB:
+			v = a - b
+		case isa.XOR:
+			v = a ^ b
+		case isa.AND:
+			v = a & b
+		case isa.OR:
+			v = a | b
+		case isa.SHL:
+			v = a << (b & 31)
+		case isa.SHR:
+			v = a >> (b & 31)
+		}
+		t := ta.Union(tb)
+		// x XOR x is the classic taint-clearing idiom.
+		if in.Op == isa.XOR && in.Dst == in.Src {
+			t = taint.Set{}
+		}
+		if err := c.writeOperand(in.Dst, v, t); err != nil {
+			return err
+		}
+		c.setFlags(v, t)
+
+	case isa.INC, isa.DEC:
+		a, ta, err := c.readOperand(in.Dst)
+		if err != nil {
+			return err
+		}
+		v := a + 1
+		if in.Op == isa.DEC {
+			v = a - 1
+		}
+		if err := c.writeOperand(in.Dst, v, ta); err != nil {
+			return err
+		}
+		c.setFlags(v, ta)
+
+	case isa.CMP, isa.TEST:
+		a, ta, err := c.readOperand(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, tb, err := c.readOperand(in.Src)
+		if err != nil {
+			return err
+		}
+		var v uint32
+		if in.Op == isa.CMP {
+			v = a - b
+		} else {
+			v = a & b
+		}
+		t := ta.Union(tb)
+		c.setFlags(v, t)
+		// A tainted predicate is AUTOVAC's Phase-I signal: a branch
+		// depends on system-resource data (§III-B).
+		if !t.Empty() {
+			c.tr.Predicates = append(c.tr.Predicates, trace.PredicateHit{
+				PC: pc, Sources: t.Sources(),
+			})
+		}
+
+	case isa.JMP:
+		next = c.prog.Labels()[in.Target]
+		taken = true
+
+	case isa.JZ, isa.JNZ, isa.JL, isa.JGE:
+		c.noteRead(trace.FlagsLoc(), flagBits(c.zf, c.sf), nil)
+		var jump bool
+		switch in.Op {
+		case isa.JZ:
+			jump = c.zf
+		case isa.JNZ:
+			jump = !c.zf
+		case isa.JL:
+			jump = c.sf
+		case isa.JGE:
+			jump = !c.sf
+		}
+		if c.invertBranch(pc) {
+			jump = !jump
+		}
+		if jump {
+			next = c.prog.Labels()[in.Target]
+			taken = true
+		}
+
+	case isa.CALL:
+		if err := c.push(uint32(pc+1), taint.Set{}); err != nil {
+			return err
+		}
+		c.callStack = append(c.callStack, pc+1)
+		next = c.prog.Labels()[in.Target]
+
+	case isa.RET:
+		v, _, err := c.pop()
+		if err != nil {
+			return err
+		}
+		if len(c.callStack) == 0 {
+			return fmt.Errorf("emu: ret with empty call stack at pc %d", pc)
+		}
+		c.callStack = c.callStack[:len(c.callStack)-1]
+		next = int(v)
+
+	case isa.CALLAPI:
+		seq, err := c.callAPI(pc, in)
+		if err != nil {
+			return err
+		}
+		apiSeq = seq
+
+	case isa.HALT:
+		c.done = true
+		c.exitKind = trace.ExitHalt
+
+	default:
+		return fmt.Errorf("emu: unknown opcode %v at pc %d", in.Op, pc)
+	}
+
+	if c.opts.RecordSteps {
+		c.tr.Steps = append(c.tr.Steps, trace.Step{
+			Index:  len(c.tr.Steps),
+			PC:     pc,
+			Instr:  in,
+			Reads:  append([]trace.Access(nil), c.curReads...),
+			Writes: append([]trace.Access(nil), c.curWrites...),
+			APISeq: apiSeq,
+			Taken:  taken,
+		})
+	}
+	c.pc = next
+	return nil
+}
+
+// invertBranch reports whether forced execution inverts the branch at
+// this PC.
+func (c *CPU) invertBranch(pc int) bool {
+	for _, p := range c.opts.InvertBranches {
+		if p == pc {
+			return true
+		}
+	}
+	return false
+}
+
+// setFlags updates ZF/SF from a result value with the given taint.
+func (c *CPU) setFlags(v uint32, t taint.Set) {
+	c.zf = v == 0
+	c.sf = int32(v) < 0
+	c.flagsTaint = t
+	c.noteWrite(trace.FlagsLoc(), flagBits(c.zf, c.sf), nil)
+}
+
+// flagBits packs flags into a value for trace records.
+func flagBits(zf, sf bool) uint32 {
+	var v uint32
+	if zf {
+		v |= 1
+	}
+	if sf {
+		v |= 2
+	}
+	return v
+}
+
+// effectiveAddr computes a memory operand's address and the taint of the
+// address computation (from the base register).
+func (c *CPU) effectiveAddr(o isa.Operand) (uint32, taint.Set, error) {
+	if o.Kind != isa.KindMem {
+		return 0, taint.Set{}, fmt.Errorf("emu: effectiveAddr on %v operand", o.Kind)
+	}
+	addr := o.Imm
+	var t taint.Set
+	if o.Sym != "" {
+		base, ok := c.symbols[o.Sym]
+		if !ok {
+			return 0, taint.Set{}, fmt.Errorf("emu: unknown symbol %q", o.Sym)
+		}
+		addr += base
+	}
+	if o.HasBase {
+		addr += c.reg[o.Reg]
+		t = c.regTaint[o.Reg]
+		c.noteRead(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
+	}
+	return addr, t, nil
+}
+
+// readOperand reads a 32-bit operand value with taint, recording the
+// access.
+func (c *CPU) readOperand(o isa.Operand) (uint32, taint.Set, error) {
+	switch o.Kind {
+	case isa.KindReg:
+		c.noteRead(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
+		return c.reg[o.Reg], c.regTaint[o.Reg], nil
+	case isa.KindImm:
+		v := o.Imm
+		if o.Sym != "" {
+			base, ok := c.symbols[o.Sym]
+			if !ok {
+				return 0, taint.Set{}, fmt.Errorf("emu: unknown symbol %q", o.Sym)
+			}
+			v += base
+		}
+		return v, taint.Set{}, nil
+	case isa.KindMem:
+		addr, at, err := c.effectiveAddr(o)
+		if err != nil {
+			return 0, taint.Set{}, err
+		}
+		v, t, err := c.mem.readWord(addr)
+		if err != nil {
+			return 0, taint.Set{}, err
+		}
+		c.noteRead(trace.MemLoc(addr, 4), v, nil)
+		return v, t.Union(at), nil
+	default:
+		return 0, taint.Set{}, fmt.Errorf("emu: read of %v operand", o.Kind)
+	}
+}
+
+// readOperandByte reads an 8-bit operand value with taint.
+func (c *CPU) readOperandByte(o isa.Operand) (uint32, taint.Set, error) {
+	switch o.Kind {
+	case isa.KindReg:
+		c.noteRead(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
+		return c.reg[o.Reg] & 0xFF, c.regTaint[o.Reg], nil
+	case isa.KindImm:
+		return o.Imm & 0xFF, taint.Set{}, nil
+	case isa.KindMem:
+		addr, at, err := c.effectiveAddr(o)
+		if err != nil {
+			return 0, taint.Set{}, err
+		}
+		b, t, err := c.mem.readByte(addr)
+		if err != nil {
+			return 0, taint.Set{}, err
+		}
+		c.noteRead(trace.MemLoc(addr, 1), uint32(b), nil)
+		return uint32(b), t.Union(at), nil
+	default:
+		return 0, taint.Set{}, fmt.Errorf("emu: byte read of %v operand", o.Kind)
+	}
+}
+
+// writeOperand writes a 32-bit value with taint, recording the access.
+func (c *CPU) writeOperand(o isa.Operand, v uint32, t taint.Set) error {
+	switch o.Kind {
+	case isa.KindReg:
+		c.reg[o.Reg] = v
+		c.regTaint[o.Reg] = t
+		c.noteWrite(trace.RegLoc(o.Reg), v, nil)
+		return nil
+	case isa.KindMem:
+		addr, _, err := c.effectiveAddr(o)
+		if err != nil {
+			return err
+		}
+		if err := c.mem.writeWord(addr, v, t); err != nil {
+			return err
+		}
+		c.noteWrite(trace.MemLoc(addr, 4), v, nil)
+		return nil
+	default:
+		return fmt.Errorf("emu: write to %v operand", o.Kind)
+	}
+}
+
+// writeOperandByte writes an 8-bit value with taint.
+func (c *CPU) writeOperandByte(o isa.Operand, v uint32, t taint.Set) error {
+	switch o.Kind {
+	case isa.KindReg:
+		c.reg[o.Reg] = (c.reg[o.Reg] &^ 0xFF) | (v & 0xFF)
+		c.regTaint[o.Reg] = c.regTaint[o.Reg].Union(t)
+		c.noteWrite(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
+		return nil
+	case isa.KindMem:
+		addr, _, err := c.effectiveAddr(o)
+		if err != nil {
+			return err
+		}
+		if err := c.mem.writeByte(addr, byte(v), t); err != nil {
+			return err
+		}
+		c.noteWrite(trace.MemLoc(addr, 1), v&0xFF, nil)
+		return nil
+	default:
+		return fmt.Errorf("emu: byte write to %v operand", o.Kind)
+	}
+}
+
+// push writes a word below ESP.
+func (c *CPU) push(v uint32, t taint.Set) error {
+	c.reg[isa.ESP] -= 4
+	if err := c.mem.writeWord(c.reg[isa.ESP], v, t); err != nil {
+		return err
+	}
+	c.noteWrite(trace.MemLoc(c.reg[isa.ESP], 4), v, nil)
+	return nil
+}
+
+// pop reads the word at ESP and releases it.
+func (c *CPU) pop() (uint32, taint.Set, error) {
+	v, t, err := c.mem.readWord(c.reg[isa.ESP])
+	if err != nil {
+		return 0, taint.Set{}, err
+	}
+	c.noteRead(trace.MemLoc(c.reg[isa.ESP], 4), v, nil)
+	c.reg[isa.ESP] += 4
+	return v, t, nil
+}

@@ -1,0 +1,257 @@
+// Package emu executes isa programs against a winenv environment with
+// instruction-level observation: per-byte taint propagation, tainted
+// predicate detection, API-call logging with calling context, optional
+// instruction-step recording for offline backward analysis, and API
+// result mutation for impact analysis. It is this reproduction's
+// substitute for the paper's DynamoRIO-based instrumentation (§VI).
+package emu
+
+import (
+	"fmt"
+
+	"autovac/internal/isa"
+	"autovac/internal/taint"
+)
+
+// Memory layout constants. Programs are loaded with read-only data at
+// RDataBase, writable data at DataBase, and a descending stack.
+const (
+	// RDataBase is the load address of read-only data (.rdata).
+	RDataBase uint32 = 0x00400000
+	// DataBase is the load address of writable data (.data).
+	DataBase uint32 = 0x00500000
+	// StackTop is the initial ESP; the stack grows down.
+	StackTop uint32 = 0x7FFE0000
+	// StackSize is the reserved stack size in bytes.
+	StackSize uint32 = 0x00010000
+)
+
+// ErrBadAccess is wrapped by memory faults.
+var ErrBadAccess = fmt.Errorf("emu: bad memory access")
+
+// segment is one mapped memory range with per-byte taint.
+type segment struct {
+	base     uint32
+	data     []byte
+	taint    []taint.Set
+	readOnly bool
+	name     string
+}
+
+func (s *segment) contains(addr uint32) bool {
+	return addr >= s.base && addr < s.base+uint32(len(s.data))
+}
+
+// memory is a small segmented address space.
+type memory struct {
+	segs []*segment
+}
+
+// mapSegment adds a mapping. Segments must not overlap; the loader
+// guarantees that by construction.
+func (m *memory) mapSegment(name string, base uint32, size int, readOnly bool) *segment {
+	s := &segment{
+		base:     base,
+		data:     make([]byte, size),
+		taint:    make([]taint.Set, size),
+		readOnly: readOnly,
+		name:     name,
+	}
+	m.segs = append(m.segs, s)
+	return s
+}
+
+// find locates the segment containing addr.
+func (m *memory) find(addr uint32) (*segment, error) {
+	for _, s := range m.segs {
+		if s.contains(addr) {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: address %#x unmapped", ErrBadAccess, addr)
+}
+
+// findRange locates the segment containing [addr, addr+n).
+func (m *memory) findRange(addr, n uint32) (*segment, error) {
+	s, err := m.find(addr)
+	if err != nil {
+		return nil, err
+	}
+	if n > 0 && !s.contains(addr+n-1) {
+		return nil, fmt.Errorf("%w: range %#x+%d crosses segment %q", ErrBadAccess, addr, n, s.name)
+	}
+	return s, nil
+}
+
+// readByte reads one byte with its taint.
+func (m *memory) readByte(addr uint32) (byte, taint.Set, error) {
+	s, err := m.find(addr)
+	if err != nil {
+		return 0, taint.Set{}, err
+	}
+	off := addr - s.base
+	return s.data[off], s.taint[off], nil
+}
+
+// writeByte writes one byte with taint, enforcing read-only segments.
+func (m *memory) writeByte(addr uint32, v byte, t taint.Set) error {
+	s, err := m.find(addr)
+	if err != nil {
+		return err
+	}
+	if s.readOnly {
+		return fmt.Errorf("%w: write to read-only segment %q at %#x", ErrBadAccess, s.name, addr)
+	}
+	off := addr - s.base
+	s.data[off] = v
+	s.taint[off] = t
+	return nil
+}
+
+// readWord reads a 32-bit little-endian word with combined taint.
+func (m *memory) readWord(addr uint32) (uint32, taint.Set, error) {
+	s, err := m.findRange(addr, 4)
+	if err != nil {
+		return 0, taint.Set{}, err
+	}
+	off := addr - s.base
+	v := uint32(s.data[off]) | uint32(s.data[off+1])<<8 |
+		uint32(s.data[off+2])<<16 | uint32(s.data[off+3])<<24
+	t := s.taint[off].Union(s.taint[off+1]).Union(s.taint[off+2]).Union(s.taint[off+3])
+	return v, t, nil
+}
+
+// writeWord writes a 32-bit little-endian word with uniform taint.
+func (m *memory) writeWord(addr uint32, v uint32, t taint.Set) error {
+	s, err := m.findRange(addr, 4)
+	if err != nil {
+		return err
+	}
+	if s.readOnly {
+		return fmt.Errorf("%w: write to read-only segment %q at %#x", ErrBadAccess, s.name, addr)
+	}
+	off := addr - s.base
+	s.data[off] = byte(v)
+	s.data[off+1] = byte(v >> 8)
+	s.data[off+2] = byte(v >> 16)
+	s.data[off+3] = byte(v >> 24)
+	for i := uint32(0); i < 4; i++ {
+		s.taint[off+i] = t
+	}
+	return nil
+}
+
+// readBytes reads n bytes with combined taint.
+func (m *memory) readBytes(addr, n uint32) ([]byte, taint.Set, error) {
+	if n == 0 {
+		return nil, taint.Set{}, nil
+	}
+	s, err := m.findRange(addr, n)
+	if err != nil {
+		return nil, taint.Set{}, err
+	}
+	off := addr - s.base
+	out := append([]byte(nil), s.data[off:off+n]...)
+	var t taint.Set
+	for i := uint32(0); i < n; i++ {
+		t = t.Union(s.taint[off+i])
+	}
+	return out, t, nil
+}
+
+// writeBytes writes bytes with uniform taint.
+func (m *memory) writeBytes(addr uint32, b []byte, t taint.Set) error {
+	if len(b) == 0 {
+		return nil
+	}
+	s, err := m.findRange(addr, uint32(len(b)))
+	if err != nil {
+		return err
+	}
+	if s.readOnly {
+		return fmt.Errorf("%w: write to read-only segment %q at %#x", ErrBadAccess, s.name, addr)
+	}
+	off := addr - s.base
+	copy(s.data[off:], b)
+	for i := range b {
+		s.taint[off+uint32(i)] = t
+	}
+	return nil
+}
+
+// readCString reads a NUL-terminated string with combined taint.
+func (m *memory) readCString(addr uint32) (string, taint.Set, error) {
+	var out []byte
+	var t taint.Set
+	for a := addr; ; a++ {
+		b, bt, err := m.readByte(a)
+		if err != nil {
+			return "", taint.Set{}, err
+		}
+		if b == 0 {
+			return string(out), t, nil
+		}
+		out = append(out, b)
+		t = t.Union(bt)
+		if len(out) > 1<<16 {
+			return "", taint.Set{}, fmt.Errorf("%w: unterminated string at %#x", ErrBadAccess, addr)
+		}
+	}
+}
+
+// byteTaints returns the per-byte taint of [addr, addr+n) — the input to
+// the per-byte identifier-provenance classification.
+func (m *memory) byteTaints(addr, n uint32) ([]taint.Set, error) {
+	if n == 0 {
+		return nil, nil
+	}
+	s, err := m.findRange(addr, n)
+	if err != nil {
+		return nil, err
+	}
+	off := addr - s.base
+	return append([]taint.Set(nil), s.taint[off:off+n]...), nil
+}
+
+// inReadOnly reports whether addr lies in a read-only segment.
+func (m *memory) inReadOnly(addr uint32) bool {
+	s, err := m.find(addr)
+	return err == nil && s.readOnly
+}
+
+// loadProgram maps a program's data items and returns the symbol table.
+func (m *memory) loadProgram(p *isa.Program) map[string]uint32 {
+	symbols := make(map[string]uint32)
+	// Two bump allocators: one per segment class.
+	roNext, rwNext := RDataBase, DataBase
+	var roItems, rwItems []isa.DataItem
+	for _, d := range p.Data {
+		if d.ReadOnly {
+			roItems = append(roItems, d)
+		} else {
+			rwItems = append(rwItems, d)
+		}
+	}
+	place := func(items []isa.DataItem, next *uint32, ro bool, segName string) {
+		if len(items) == 0 {
+			return
+		}
+		total := 0
+		for _, d := range items {
+			total += len(d.Data) + 16 // guard padding between items
+		}
+		seg := m.mapSegment(segName, *next, total, false)
+		off := uint32(0)
+		for _, d := range items {
+			symbols[d.Name] = seg.base + off
+			copy(seg.data[off:], d.Data)
+			off += uint32(len(d.Data)) + 16
+		}
+		seg.readOnly = ro
+		*next += uint32(total)
+	}
+	place(roItems, &roNext, true, ".rdata")
+	place(rwItems, &rwNext, false, ".data")
+	m.mapSegment("stack", StackTop-StackSize, int(StackSize)+16, false)
+	return symbols
+}

@@ -1,0 +1,166 @@
+package emu
+
+import (
+	"strings"
+	"testing"
+
+	"autovac/internal/isa"
+	"autovac/internal/taint"
+)
+
+func testMemory() *memory {
+	m := &memory{}
+	m.mapSegment("rw", 0x1000, 64, false)
+	m.mapSegment("ro", 0x2000, 16, true)
+	return m
+}
+
+func TestMemoryWordRoundTrip(t *testing.T) {
+	m := testMemory()
+	tnt := taint.Of(3)
+	if err := m.writeWord(0x1000, 0xDEADBEEF, tnt); err != nil {
+		t.Fatal(err)
+	}
+	v, got, err := m.readWord(0x1000)
+	if err != nil || v != 0xDEADBEEF {
+		t.Fatalf("readWord = %#x, %v", v, err)
+	}
+	if !got.Has(3) {
+		t.Error("taint lost")
+	}
+	// Little-endian layout.
+	b, _, _ := m.readByte(0x1000)
+	if b != 0xEF {
+		t.Errorf("low byte = %#x", b)
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	m := testMemory()
+	// Unmapped address.
+	if _, _, err := m.readWord(0x5000); err == nil {
+		t.Error("unmapped read succeeded")
+	}
+	// Word crossing the segment end.
+	if _, _, err := m.readWord(0x1000 + 62); err == nil {
+		t.Error("cross-boundary read succeeded")
+	}
+	if err := m.writeWord(0x1000+62, 1, taint.Set{}); err == nil {
+		t.Error("cross-boundary write succeeded")
+	}
+	// Byte at the last valid offset works.
+	if _, _, err := m.readByte(0x1000 + 63); err != nil {
+		t.Errorf("last byte read: %v", err)
+	}
+}
+
+func TestMemoryReadOnlyEnforced(t *testing.T) {
+	m := testMemory()
+	for _, f := range []func() error{
+		func() error { return m.writeByte(0x2000, 1, taint.Set{}) },
+		func() error { return m.writeWord(0x2000, 1, taint.Set{}) },
+		func() error { return m.writeBytes(0x2000, []byte{1, 2}, taint.Set{}) },
+	} {
+		if err := f(); err == nil || !strings.Contains(err.Error(), "read-only") {
+			t.Errorf("read-only write: %v", err)
+		}
+	}
+	if !m.inReadOnly(0x2000) || m.inReadOnly(0x1000) {
+		t.Error("inReadOnly wrong")
+	}
+}
+
+func TestMemoryCString(t *testing.T) {
+	m := testMemory()
+	if err := m.writeBytes(0x1000, append([]byte("marker"), 0), taint.Of(7)); err != nil {
+		t.Fatal(err)
+	}
+	s, tnt, err := m.readCString(0x1000)
+	if err != nil || s != "marker" {
+		t.Fatalf("readCString = %q, %v", s, err)
+	}
+	if !tnt.Has(7) {
+		t.Error("string taint lost")
+	}
+	// Unterminated string runs into the segment boundary and errors.
+	for i := 0; i < 64; i++ {
+		_ = m.writeByte(uint32(0x1000+i), 'A', taint.Set{})
+	}
+	if _, _, err := m.readCString(0x1000); err == nil {
+		t.Error("unterminated string read succeeded")
+	}
+}
+
+func TestMemoryByteTaints(t *testing.T) {
+	m := testMemory()
+	_ = m.writeByte(0x1001, 'x', taint.Of(1))
+	_ = m.writeByte(0x1002, 'y', taint.Of(2))
+	taints, err := m.byteTaints(0x1000, 4)
+	if err != nil || len(taints) != 4 {
+		t.Fatalf("byteTaints: %v, %v", taints, err)
+	}
+	if !taints[0].Empty() || !taints[1].Has(1) || !taints[2].Has(2) || !taints[3].Empty() {
+		t.Errorf("per-byte taints wrong: %v", taints)
+	}
+	if _, err := m.byteTaints(0x1000+62, 4); err == nil {
+		t.Error("cross-boundary byteTaints succeeded")
+	}
+	if got, err := m.byteTaints(0x1000, 0); got != nil || err != nil {
+		t.Error("zero-length byteTaints")
+	}
+}
+
+func TestLoadProgramLayout(t *testing.T) {
+	b := isa.NewBuilder("layout")
+	b.RData("ro1", "const-one")
+	b.RData("ro2", "const-two")
+	b.Buf("rw1", 32)
+	b.Halt()
+	prog := b.MustBuild()
+
+	m := &memory{}
+	symbols := m.loadProgram(prog)
+	// Read-only items land in the rdata window, writable below DataBase.
+	for _, name := range []string{"ro1", "ro2"} {
+		addr := symbols[name]
+		if addr < RDataBase || addr >= DataBase {
+			t.Errorf("%s at %#x outside rdata window", name, addr)
+		}
+		if !m.inReadOnly(addr) {
+			t.Errorf("%s not read-only", name)
+		}
+	}
+	if addr := symbols["rw1"]; addr < DataBase {
+		t.Errorf("rw1 at %#x inside rdata window", addr)
+	}
+	// Contents loaded.
+	s, _, err := m.readCString(symbols["ro1"])
+	if err != nil || s != "const-one" {
+		t.Errorf("ro1 = %q, %v", s, err)
+	}
+	// Guard padding separates items: the byte right after a string's NUL
+	// belongs to the same segment but is zero.
+	if bt, _, err := m.readByte(symbols["ro1"] + uint32(len("const-one")) + 1); err != nil || bt != 0 {
+		t.Errorf("guard byte = %#x, %v", bt, err)
+	}
+	// Stack mapped.
+	if err := m.writeWord(StackTop-4, 1, taint.Set{}); err != nil {
+		t.Errorf("stack write: %v", err)
+	}
+}
+
+func TestDeterministicLayoutAcrossLoads(t *testing.T) {
+	b := isa.NewBuilder("layout2")
+	b.RData("a", "x")
+	b.Buf("b", 8)
+	b.Halt()
+	prog := b.MustBuild()
+	m1, m2 := &memory{}, &memory{}
+	s1 := m1.loadProgram(prog)
+	s2 := m2.loadProgram(prog)
+	for name := range s1 {
+		if s1[name] != s2[name] {
+			t.Errorf("%s at %#x vs %#x across loads", name, s1[name], s2[name])
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblation(t *testing.T) {
+	s := smallSetup(t, 60)
+	_, profiles, err := s.RunPhase1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Ablation(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CandidatesTested == 0 {
+		t.Fatal("no candidates tested")
+	}
+	// Flip detection can only ADD immunizing classifications.
+	if rep.ImmunizingLCSNoFlips > rep.ImmunizingLCSFlips {
+		t.Errorf("no-flips %d > flips %d", rep.ImmunizingLCSNoFlips, rep.ImmunizingLCSFlips)
+	}
+	// And on this corpus it matters: flip-only vaccines (blocked
+	// persistence writes) exist.
+	if rep.ImmunizingLCSNoFlips == rep.ImmunizingLCSFlips {
+		t.Error("flip detection added nothing; expected flip-only vaccines in the corpus")
+	}
+	// Greedy and LCS agree on the overwhelming majority of pipeline
+	// traces (single divergence region) — that is why the paper's
+	// simple Algorithm 1 suffices in practice.
+	if frac := float64(rep.GreedyDisagreements) / float64(rep.CandidatesTested); frac > 0.05 {
+		t.Errorf("greedy disagreement rate %.2f > 5%%", frac)
+	}
+	text := RenderAblation(rep)
+	if !strings.Contains(text, "Ablation") {
+		t.Errorf("render:\n%s", text)
+	}
+}

@@ -1,0 +1,284 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"autovac/internal/determinism"
+	"autovac/internal/emu"
+	"autovac/internal/impact"
+	"autovac/internal/isa"
+	"autovac/internal/malware"
+	"autovac/internal/trace"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// The paper's §VII ("Limitations and Future Work") names three evasion
+// avenues. This file reproduces each one as a measurable experiment:
+//
+//  1. identifier renaming across versions (old vaccines stop working,
+//     re-analysis recovers),
+//  2. dropping the resource checks entirely (no vaccine exists — at the
+//     price of re-infection),
+//  3. control-dependence obfuscation of identifier derivation (the
+//     data-flow-only determinism analysis misclassifies the identifier
+//     as static, and the vaccine silently fails cross-host).
+
+// RenameEvasionReport is the outcome of the identifier-renaming
+// experiment.
+type RenameEvasionReport struct {
+	// OldVaccineWorksOnOriginal confirms the baseline.
+	OldVaccineWorksOnOriginal bool
+	// OldVaccineWorksOnRenamed is the evasion's effect (expected false).
+	OldVaccineWorksOnRenamed bool
+	// ReanalysisYieldsVaccine shows the automatic-tool counter: analysing
+	// the new version recovers a working vaccine.
+	ReanalysisYieldsVaccine bool
+	// NewVaccineWorksOnRenamed confirms the recovered vaccine.
+	NewVaccineWorksOnRenamed bool
+}
+
+// RenameEvasion runs the §VII identifier-renaming evasion against a
+// family sample.
+func (s *Setup) RenameEvasion(fam malware.Family) (*RenameEvasionReport, error) {
+	original, err := s.Generator.FamilySample(fam)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Pipeline.Analyze(original)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Vaccines) == 0 {
+		return nil, fmt.Errorf("experiment: no vaccines for %s", fam)
+	}
+	renamed, err := s.Generator.RenamedVariant(original, "v2")
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &RenameEvasionReport{}
+	normalOrig, err := emu.Run(original.Program, winenv.New(s.Pipeline.Identity()), emu.Options{Seed: s.Pipeline.Seed()})
+	if err != nil {
+		return nil, err
+	}
+	normalRen, err := emu.Run(renamed.Program, winenv.New(s.Pipeline.Identity()), emu.Options{Seed: s.Pipeline.Seed()})
+	if err != nil {
+		return nil, err
+	}
+	for i := range res.Vaccines {
+		if ok, err := s.vaccineWorksOn(original, &res.Vaccines[i], normalOrig); err != nil {
+			return nil, err
+		} else if ok {
+			rep.OldVaccineWorksOnOriginal = true
+		}
+		if ok, err := s.vaccineWorksOn(renamed, &res.Vaccines[i], normalRen); err != nil {
+			return nil, err
+		} else if ok {
+			rep.OldVaccineWorksOnRenamed = true
+		}
+	}
+
+	// Re-analyse the renamed version (the paper's argument for an
+	// automatic tool: vaccine refresh is cheap).
+	res2, err := s.Pipeline.Analyze(renamed)
+	if err != nil {
+		return nil, err
+	}
+	rep.ReanalysisYieldsVaccine = len(res2.Vaccines) > 0
+	for i := range res2.Vaccines {
+		if ok, err := s.vaccineWorksOn(renamed, &res2.Vaccines[i], normalRen); err != nil {
+			return nil, err
+		} else if ok {
+			rep.NewVaccineWorksOnRenamed = true
+			break
+		}
+	}
+	return rep, nil
+}
+
+// CheckDropEvasion builds a variant of a marker-guarded sample with the
+// checks removed (§VII: the author "can drop the specific resource
+// checking logic ... [which] will possibly lead to re-infection").
+// It returns whether the original was flagged, whether the checkless
+// variant was flagged, and whether the variant re-infects an
+// already-infected machine (the cost of the evasion).
+func (s *Setup) CheckDropEvasion() (flaggedOriginal, flaggedEvasive, reinfects bool, err error) {
+	spec := &malware.Spec{Name: "checked-worm", Category: malware.Worm,
+		Behaviors: []malware.Behavior{
+			{Kind: malware.BehMarkerMutex, ID: "CHKWORM.77"},
+			{Kind: malware.BehNetworkCC, ID: "chk.example", Aux: "445", Count: 2},
+		}}
+	original := &malware.Sample{Spec: spec, Program: malware.MustEmit(spec)}
+
+	evSpec := &malware.Spec{Name: "checkless-worm", Category: malware.Worm,
+		Behaviors: []malware.Behavior{
+			{Kind: malware.BehMarkerMutex, ID: "CHKWORM.77", Unchecked: true},
+			{Kind: malware.BehNetworkCC, ID: "chk.example", Aux: "445", Count: 2, Unchecked: true},
+		}}
+	evasive := &malware.Sample{Spec: evSpec, Program: malware.MustEmit(evSpec)}
+
+	pOrig, err := s.Pipeline.Phase1(original)
+	if err != nil {
+		return false, false, false, err
+	}
+	pEv, err := s.Pipeline.Phase1(evasive)
+	if err != nil {
+		return false, false, false, err
+	}
+
+	// The checkless variant runs its payload even on an infected host.
+	infected := winenv.New(s.Pipeline.Identity())
+	infected.Inject(winenv.Resource{Kind: winenv.KindMutex, Name: "CHKWORM.77", Owner: "system"})
+	tr, err := emu.Run(evasive.Program, infected, emu.Options{Seed: s.Pipeline.Seed()})
+	if err != nil {
+		return false, false, false, err
+	}
+	reinfects = len(tr.CallsTo("connect")) > 0 && tr.Exit == trace.ExitHalt
+	return pOrig.HasVaccineCandidates(), pEv.HasVaccineCandidates(), reinfects, nil
+}
+
+// ControlDepReport is the outcome of the control-dependence
+// obfuscation experiment.
+type ControlDepReport struct {
+	// Identifier is the marker observed on the analysis machine.
+	Identifier string
+	// ClassifiedAs is the (wrong) determinism class the analysis
+	// assigns: the laundering strips the semantic provenance, so the
+	// per-host identifier looks static.
+	ClassifiedAs determinism.Class
+	// VaccineWorksOnAnalysisHost is true (the constant matches there).
+	VaccineWorksOnAnalysisHost bool
+	// VaccineWorksOnOtherHost is the silent failure (expected false).
+	VaccineWorksOnOtherHost bool
+}
+
+// ControlDepEvasion reproduces the §VII data-flow-evasion limitation:
+// the marker name derives from the computer name, but every byte is
+// copied through a control-dependent equality ladder (compare the
+// tainted byte against each candidate constant; write the UNTAINTED
+// constant on match). Data-flow taint cannot follow the copy, so
+// determinism analysis sees an all-static identifier and emits a
+// constant vaccine that only protects machines named like the analysis
+// host.
+func (s *Setup) ControlDepEvasion() (*ControlDepReport, error) {
+	prog, err := controlDepSample()
+	if err != nil {
+		return nil, err
+	}
+	sample := &malware.Sample{
+		Spec:    &malware.Spec{Name: "ctrl-dep-worm", Category: malware.Worm},
+		Program: prog,
+	}
+	res, err := s.Pipeline.Analyze(sample)
+	if err != nil {
+		return nil, err
+	}
+	var v *vaccine.Vaccine
+	for i := range res.Vaccines {
+		if res.Vaccines[i].Resource == winenv.KindMutex {
+			v = &res.Vaccines[i]
+			break
+		}
+	}
+	if v == nil {
+		return nil, fmt.Errorf("experiment: no mutex vaccine from control-dep sample (%d vaccines, %d rejected)",
+			len(res.Vaccines), len(res.Rejected))
+	}
+	rep := &ControlDepReport{Identifier: v.Identifier, ClassifiedAs: v.Class}
+
+	normal, err := emu.Run(prog, winenv.New(s.Pipeline.Identity()), emu.Options{Seed: s.Pipeline.Seed()})
+	if err != nil {
+		return nil, err
+	}
+	ok, err := s.vaccineWorksOn(sample, v, normal)
+	if err != nil {
+		return nil, err
+	}
+	rep.VaccineWorksOnAnalysisHost = ok
+
+	// The same (constant) vaccine on a differently-named machine.
+	otherID := s.Pipeline.Identity()
+	otherID.ComputerName = "OTHER-HOST-99"
+	otherEnv := winenv.New(otherID)
+	if v.Class == determinism.Static {
+		otherEnv.Inject(winenv.Resource{Kind: v.Resource, Name: v.Identifier, Owner: "vaccine"})
+	}
+	normalOther, err := emu.Run(prog, winenv.New(otherID), emu.Options{Seed: s.Pipeline.Seed()})
+	if err != nil {
+		return nil, err
+	}
+	deployedOther, err := emu.Run(prog, otherEnv, emu.Options{Seed: s.Pipeline.Seed()})
+	if err != nil {
+		return nil, err
+	}
+	rep.VaccineWorksOnOtherHost = impact.Classify(deployedOther, normalOther).Immunizing()
+	return rep, nil
+}
+
+// controlDepSample builds the obfuscated program: the computer name is
+// copied byte by byte through an equality ladder over the printable
+// character range, so the output carries no data-flow taint.
+func controlDepSample() (*isa.Program, error) {
+	b := isa.NewBuilder("ctrl-dep-worm")
+	b.RData("suffix", "-7")
+	b.Buf("cname", 32)
+	b.Buf("oname", 48)
+	b.CallAPI("GetComputerNameA", isa.Sym("cname"), isa.Imm(32))
+
+	// esi = &cname, edi = &oname
+	b.Lea(isa.ESI, isa.MemSym("cname"))
+	b.Lea(isa.EDI, isa.MemSym("oname"))
+	b.Label("outer")
+	b.Movb(isa.R(isa.EAX), isa.Mem(isa.ESI, 0)).Comment("tainted byte")
+	b.Test(isa.R(isa.EAX), isa.R(isa.EAX))
+	b.Jz("done")
+	// Equality ladder: for ecx in [32,127): if byte == ecx, write the
+	// UNTAINTED counter value.
+	b.Mov(isa.R(isa.ECX), isa.Imm(32))
+	b.Label("inner")
+	b.Cmp(isa.R(isa.EAX), isa.R(isa.ECX)).Comment("tainted predicate; write below is not")
+	b.Jnz("skipw")
+	b.Movb(isa.Mem(isa.EDI, 0), isa.R(isa.ECX)).Comment("control-dependent copy")
+	b.Label("skipw")
+	b.Inc(isa.R(isa.ECX))
+	b.Cmp(isa.R(isa.ECX), isa.Imm(127))
+	b.Jl("inner")
+	b.Inc(isa.R(isa.ESI))
+	b.Inc(isa.R(isa.EDI))
+	b.Jmp("outer")
+	b.Label("done")
+	b.Movb(isa.Mem(isa.EDI, 0), isa.Imm(0)).Comment("terminate the laundered copy")
+	b.CallAPI("lstrcatA", isa.Sym("oname"), isa.Sym("suffix"))
+
+	// Marker probe on the laundered name.
+	b.CallAPI("OpenMutexA", isa.Sym("oname"))
+	b.Test(isa.R(isa.EAX), isa.R(isa.EAX))
+	b.Jnz("infected")
+	b.CallAPI("CreateMutexA", isa.Sym("oname"))
+	// Payload.
+	b.CallAPI("gethostbyname", isa.Sym("suffix"))
+	b.Halt()
+	b.Label("infected")
+	b.CallAPI("ExitProcess", isa.Imm(0))
+	return b.Build()
+}
+
+// RenderEvasion renders the three §VII experiments.
+func RenderEvasion(ren *RenameEvasionReport, flaggedOrig, flaggedEv, reinfects bool, cd *ControlDepReport) string {
+	var b strings.Builder
+	b.WriteString("Evasion experiments (§VII limitations, reproduced)\n")
+	fmt.Fprintf(&b, "1. identifier renaming:\n")
+	fmt.Fprintf(&b, "   old vaccine on original: %v; on renamed version: %v\n",
+		ren.OldVaccineWorksOnOriginal, ren.OldVaccineWorksOnRenamed)
+	fmt.Fprintf(&b, "   re-analysis of renamed version yields a working vaccine: %v\n",
+		ren.ReanalysisYieldsVaccine && ren.NewVaccineWorksOnRenamed)
+	fmt.Fprintf(&b, "2. dropping resource checks:\n")
+	fmt.Fprintf(&b, "   original flagged: %v; checkless variant flagged: %v; checkless variant re-infects: %v\n",
+		flaggedOrig, flaggedEv, reinfects)
+	fmt.Fprintf(&b, "3. control-dependence obfuscation:\n")
+	fmt.Fprintf(&b, "   identifier %q classified %s; vaccine works on analysis host: %v; on other host: %v\n",
+		cd.Identifier, cd.ClassifiedAs, cd.VaccineWorksOnAnalysisHost, cd.VaccineWorksOnOtherHost)
+	return b.String()
+}

@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"autovac/internal/determinism"
+	"autovac/internal/malware"
+)
+
+func TestRenameEvasion(t *testing.T) {
+	s := smallSetup(t, 10)
+	rep, err := s.RenameEvasion(malware.PoisonIvy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OldVaccineWorksOnOriginal {
+		t.Error("baseline vaccine does not work on the original")
+	}
+	if rep.OldVaccineWorksOnRenamed {
+		t.Error("renaming evasion failed: old vaccine still works")
+	}
+	if !rep.ReanalysisYieldsVaccine || !rep.NewVaccineWorksOnRenamed {
+		t.Error("re-analysis did not recover a working vaccine")
+	}
+}
+
+func TestCheckDropEvasion(t *testing.T) {
+	s := smallSetup(t, 10)
+	flaggedOrig, flaggedEv, reinfects, err := s.CheckDropEvasion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !flaggedOrig {
+		t.Error("checked worm not flagged")
+	}
+	if flaggedEv {
+		t.Error("checkless worm flagged despite having no resource checks")
+	}
+	// The paper's point: dropping the check means re-infection.
+	if !reinfects {
+		t.Error("checkless worm did not re-infect an infected host")
+	}
+}
+
+func TestControlDepEvasion(t *testing.T) {
+	s := smallSetup(t, 10)
+	rep, err := s.ControlDepEvasion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The laundered identifier still reflects the analysis machine's
+	// name, but the data-flow analysis sees it as static.
+	if !strings.Contains(rep.Identifier, "WIN-AUTOVAC01") {
+		t.Errorf("identifier = %q, want the computer name embedded", rep.Identifier)
+	}
+	if rep.ClassifiedAs != determinism.Static {
+		t.Errorf("classified as %v; the documented limitation expects (wrongly) static", rep.ClassifiedAs)
+	}
+	if !rep.VaccineWorksOnAnalysisHost {
+		t.Error("vaccine should still work on the analysis host")
+	}
+	if rep.VaccineWorksOnOtherHost {
+		t.Error("vaccine unexpectedly worked cross-host; the limitation did not reproduce")
+	}
+	// Render includes all three experiments.
+	ren := &RenameEvasionReport{OldVaccineWorksOnOriginal: true, ReanalysisYieldsVaccine: true, NewVaccineWorksOnRenamed: true}
+	text := RenderEvasion(ren, true, false, true, rep)
+	if !strings.Contains(text, "control-dependence") {
+		t.Errorf("render:\n%s", text)
+	}
+}

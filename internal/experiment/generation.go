@@ -1,0 +1,273 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"autovac/internal/core"
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// GenStats aggregates Phase-II over the corpus (§VI-C): every generated
+// vaccine, joined with its sample's classification.
+type GenStats struct {
+	// Vaccines is every vaccine generated across the corpus.
+	Vaccines []vaccine.Vaccine
+	// SamplesWithVaccines counts samples that yielded at least one
+	// vaccine (the paper: 536 vaccines from 210 samples).
+	SamplesWithVaccines int
+	// SamplesAnalyzed is the number of flagged samples fed to Phase-II.
+	SamplesAnalyzed int
+	// StaticCount and AlgorithmicCount split vaccines by identifier
+	// class (the paper: 373 static, 163 algorithm-deterministic or
+	// partial static).
+	StaticCount      int
+	AlgorithmicCount int
+}
+
+// RunPhase2 generates vaccines for every flagged profile. Generation
+// runs on the Setup's worker pool; aggregation is serial and in sample
+// order, so the statistics are worker-count independent.
+func (s *Setup) RunPhase2(profiles []*core.Profile) (*GenStats, error) {
+	st := &GenStats{}
+	results := make([]*core.Result, len(profiles))
+	errs := make([]error, len(profiles))
+	s.parallelIndexes(len(profiles), func(i int) {
+		if !profiles[i].HasVaccineCandidates() {
+			return
+		}
+		results[i], errs[i] = s.Pipeline.Phase2(profiles[i])
+	})
+	for i, prof := range profiles {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("experiment: phase2 %s: %w", prof.Sample.Name(), errs[i])
+		}
+		res := results[i]
+		if res == nil {
+			continue
+		}
+		st.SamplesAnalyzed++
+		if len(res.Vaccines) == 0 {
+			continue
+		}
+		st.SamplesWithVaccines++
+		st.Vaccines = append(st.Vaccines, res.Vaccines...)
+		for _, v := range res.Vaccines {
+			if v.Class == determinism.Static {
+				st.StaticCount++
+			} else {
+				st.AlgorithmicCount++
+			}
+		}
+	}
+	return st, nil
+}
+
+// TableIVRow is one row of Table IV: a resource kind with vaccine
+// counts per immunization type.
+type TableIVRow struct {
+	Resource winenv.ResourceKind
+	// Counts indexes by effect.
+	Counts map[impact.Effect]int
+	All    int
+}
+
+// TableIV buckets the generated vaccines by resource × immunization
+// type (paper Table IV).
+func TableIV(st *GenStats) []TableIVRow {
+	byKind := make(map[winenv.ResourceKind]*TableIVRow)
+	for _, kind := range winenv.Kinds() {
+		byKind[kind] = &TableIVRow{Resource: kind, Counts: make(map[impact.Effect]int)}
+	}
+	for _, v := range st.Vaccines {
+		row := byKind[v.Resource]
+		row.Counts[v.Effect]++
+		row.All++
+	}
+	var rows []TableIVRow
+	for _, kind := range winenv.Kinds() {
+		rows = append(rows, *byKind[kind])
+	}
+	return rows
+}
+
+// TableVRow is one column pair of Table V: for a malware category, the
+// distribution of vaccine resources and the deployment split.
+type TableVRow struct {
+	Category malware.Category
+	// ResourceShare maps kind -> percentage of the category's vaccines.
+	ResourceShare map[winenv.ResourceKind]float64
+	// DirectShare and DaemonShare split by delivery.
+	DirectShare float64
+	DaemonShare float64
+	// Total is the category's vaccine count.
+	Total int
+}
+
+// TableV joins vaccine types with malware classification (paper
+// Table V).
+func TableV(st *GenStats) []TableVRow {
+	type agg struct {
+		byKind map[winenv.ResourceKind]int
+		direct int
+		total  int
+	}
+	m := make(map[malware.Category]*agg)
+	for _, v := range st.Vaccines {
+		cat := malware.Category(v.Category)
+		a := m[cat]
+		if a == nil {
+			a = &agg{byKind: make(map[winenv.ResourceKind]int)}
+			m[cat] = a
+		}
+		a.byKind[v.Resource]++
+		a.total++
+		if v.Delivery == vaccine.DirectInjection {
+			a.direct++
+		}
+	}
+	var rows []TableVRow
+	for _, cat := range malware.Categories() {
+		a := m[cat]
+		row := TableVRow{Category: cat, ResourceShare: make(map[winenv.ResourceKind]float64)}
+		if a == nil || a.total == 0 {
+			rows = append(rows, row)
+			continue
+		}
+		row.Total = a.total
+		for kind, n := range a.byKind {
+			row.ResourceShare[kind] = 100 * float64(n) / float64(a.total)
+		}
+		row.DirectShare = 100 * float64(a.direct) / float64(a.total)
+		row.DaemonShare = 100 - row.DirectShare
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// TableIIIRow is one zoom-in row of Table III: a representative
+// vaccine with its operation types, impact codes, identifier, and the
+// sample fingerprint.
+type TableIIIRow struct {
+	Seq        int
+	Type       winenv.ResourceKind
+	OperType   string
+	Impact     string
+	Identifier string
+	SampleMD5  string
+}
+
+// TableIII selects representative vaccines across resource kinds and
+// effects (paper Table III shows 10).
+func TableIII(st *GenStats, samples []*malware.Sample, n int) []TableIIIRow {
+	md5Of := make(map[string]string, len(samples))
+	for _, s := range samples {
+		md5Of[s.Name()] = s.MD5
+	}
+	// Prefer diversity: iterate kinds round-robin over effect classes.
+	picked := make([]vaccine.Vaccine, 0, n)
+	used := make(map[int]bool)
+	for _, wantFull := range []bool{true, false} {
+		for _, kind := range []winenv.ResourceKind{
+			winenv.KindMutex, winenv.KindFile, winenv.KindRegistry,
+			winenv.KindService, winenv.KindWindow, winenv.KindLibrary,
+			winenv.KindProcess,
+		} {
+			for i, v := range st.Vaccines {
+				if len(picked) >= n {
+					break
+				}
+				if used[i] || v.Resource != kind || v.FullImmunization() != wantFull {
+					continue
+				}
+				used[i] = true
+				picked = append(picked, v)
+				break
+			}
+		}
+	}
+	for i := 0; len(picked) < n && i < len(st.Vaccines); i++ {
+		if !used[i] {
+			used[i] = true
+			picked = append(picked, st.Vaccines[i])
+		}
+	}
+	var rows []TableIIIRow
+	for i, v := range picked {
+		ident := v.Identifier
+		if v.Class == determinism.PartialStatic {
+			ident = v.Pattern
+		}
+		rows = append(rows, TableIIIRow{
+			Seq:        i + 1,
+			Type:       v.Resource,
+			OperType:   operCodes(v.Op),
+			Impact:     impactCodes(v),
+			Identifier: ident,
+			SampleMD5:  md5Of[v.Sample],
+		})
+	}
+	return rows
+}
+
+// operCodes renders ops in Table III's letter codes: Check Existence
+// (E), Create (C), Read (R), Write (W).
+func operCodes(ops string) string {
+	codes := map[string]string{
+		"create": "C", "open": "E", "query": "E",
+		"read": "R", "write": "W", "delete": "D",
+	}
+	seen := make(map[string]bool)
+	var out []string
+	for _, op := range strings.Split(ops, ",") {
+		c, ok := codes[op]
+		if !ok || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ",")
+}
+
+// impactCodes renders effects in Table III's letter codes: Termination
+// (T), Process Hijacking (H), Persistence (P), Kernel Injection (K),
+// Network Massive Attack (N).
+func impactCodes(v vaccine.Vaccine) string {
+	codes := map[impact.Effect]string{
+		impact.Full:    "T",
+		impact.TypeI:   "K",
+		impact.TypeII:  "N",
+		impact.TypeIII: "P",
+		impact.TypeIV:  "H",
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, e := range append([]impact.Effect{v.Effect}, v.Effects...) {
+		c, ok := codes[e]
+		if !ok || seen[c] {
+			continue
+		}
+		seen[c] = true
+		out = append(out, c)
+	}
+	return strings.Join(out, ",")
+}
+
+// TableVI returns the high-profile Zeus example row (paper Table VI):
+// the _AVIRA_ mutex vaccine and its impact description.
+func TableVI(st *GenStats) (vaccine.Vaccine, bool) {
+	for _, v := range st.Vaccines {
+		if v.Family == string(malware.Zeus) && v.Resource == winenv.KindMutex &&
+			strings.HasPrefix(v.Identifier, "_AVIRA_") {
+			return v, true
+		}
+	}
+	return vaccine.Vaccine{}, false
+}

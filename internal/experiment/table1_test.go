@@ -1,0 +1,45 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableI(t *testing.T) {
+	rows := TableI()
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byAPI := make(map[string]TableIRow)
+	for _, r := range rows {
+		byAPI[r.API] = r
+	}
+	// The paper's two canonical examples.
+	om := byAPI["OpenMutexA"]
+	if om.ResourceType != "Mutex" || !strings.Contains(om.Identifier, "name string") ||
+		!strings.Contains(om.Failure, "0x02") || om.TaintTarget != "return value" {
+		t.Errorf("OpenMutexA row = %+v", om)
+	}
+	rf := byAPI["ReadFile"]
+	if rf.ResourceType != "File" || !strings.Contains(rf.Identifier, "handle map") ||
+		!strings.Contains(rf.Failure, "0x1e") {
+		t.Errorf("ReadFile row = %+v", rf)
+	}
+	// Registry APIs show the status convention and argument tainting.
+	rk := byAPI["RegOpenKeyExA"]
+	if !strings.Contains(rk.Success, "ERROR_SUCCESS") || rk.TaintTarget != "argument 2" {
+		t.Errorf("RegOpenKeyExA row = %+v", rk)
+	}
+	// Unknown / unlabelled APIs are skipped.
+	if got := TableI("NoSuchAPI", "Sleep"); len(got) != 0 {
+		t.Errorf("unlabelled APIs produced rows: %+v", got)
+	}
+	text := RenderTableI(rows)
+	if !strings.Contains(text, "Table I") || !strings.Contains(text, "OpenMutexA") {
+		t.Errorf("render:\n%s", text)
+	}
+	res, total := Hooked()
+	if res < 25 || total < 60 || res >= total {
+		t.Errorf("Hooked() = %d, %d", res, total)
+	}
+}

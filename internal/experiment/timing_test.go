@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureTiming(t *testing.T) {
+	s := smallSetup(t, 10)
+	tm, err := s.MeasureTiming(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.SamplesTimed != 5 {
+		t.Errorf("samples timed = %d", tm.SamplesTimed)
+	}
+	for name, d := range map[string]time.Duration{
+		"analysis":  tm.PerSampleAnalysis,
+		"slicing":   tm.BackwardSlicing,
+		"impact":    tm.ImpactAnalysis,
+		"injection": tm.StaticBatchInjection,
+		"replay":    tm.SliceReplay,
+	} {
+		if d <= 0 {
+			t.Errorf("%s duration = %v", name, d)
+		}
+	}
+	// Structure claims: batch static injection is cheaper than analysing
+	// a sample end to end; the daemon adds measurable but bounded cost.
+	if tm.HookWith119 < tm.HookBaseline {
+		t.Errorf("hook with patterns (%v) cheaper than baseline (%v)", tm.HookWith119, tm.HookBaseline)
+	}
+	if tm.HookAddedCost() < 0 || tm.HookAddedCost() > time.Millisecond {
+		t.Errorf("added hook cost = %v", tm.HookAddedCost())
+	}
+	text := RenderTiming(tm)
+	for _, frag := range []string{"789 s", "214 s", "25.7 s", "373 static"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("render missing %q", frag)
+		}
+	}
+}

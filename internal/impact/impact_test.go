@@ -1,0 +1,174 @@
+package impact
+
+import (
+	"testing"
+
+	"autovac/internal/emu"
+	"autovac/internal/malware"
+	"autovac/internal/trace"
+	"autovac/internal/winenv"
+)
+
+// runPair executes a family sample normally and with a mutation,
+// returning both traces.
+func runPair(t *testing.T, f malware.Family, mu []emu.Mutation) (*trace.Trace, *trace.Trace) {
+	t.Helper()
+	g := malware.NewGenerator(1)
+	s, err := g.FamilySample(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	natural, err := emu.Run(s.Program, winenv.New(winenv.DefaultIdentity()), emu.Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated, err := emu.Run(s.Program, winenv.New(winenv.DefaultIdentity()), emu.Options{Seed: 4, Mutations: mu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mutated, natural
+}
+
+func TestEffectStrings(t *testing.T) {
+	cases := map[Effect]string{
+		NoImmunization: "None", Full: "Full", TypeI: "Type-I",
+		TypeII: "Type-II", TypeIII: "Type-III", TypeIV: "Type-IV",
+	}
+	for e, want := range cases {
+		if got := e.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", e, got, want)
+		}
+	}
+	if Full.Partial() || !TypeII.Partial() || NoImmunization.Partial() {
+		t.Error("Partial() wrong")
+	}
+}
+
+func TestFullImmunizationPoisonIvyMarker(t *testing.T) {
+	// Simulating the !VoqA.I4 marker makes PoisonIvy exit immediately.
+	mutated, natural := runPair(t, malware.PoisonIvy, []emu.Mutation{
+		{API: "OpenMutexA", CallerPC: -1, Identifier: "!VoqA.I4", Mode: emu.ForceSuccess},
+	})
+	r := Classify(mutated, natural)
+	if r.Primary != Full {
+		t.Fatalf("primary = %v, effects = %v", r.Primary, r.Effects)
+	}
+	if !r.Immunizing() || !r.Has(Full) {
+		t.Error("result accessors wrong")
+	}
+}
+
+func TestFullImmunizationZeusFileDenied(t *testing.T) {
+	// Blocking sdra64.exe creation terminates Zeus.
+	mutated, natural := runPair(t, malware.Zeus, []emu.Mutation{
+		{API: "CreateFileA", CallerPC: -1,
+			Identifier: `C:\Windows\system32\sdra64.exe`, Mode: emu.ForceFailure},
+	})
+	r := Classify(mutated, natural)
+	if r.Primary != Full {
+		t.Fatalf("primary = %v, effects = %v", r.Primary, r.Effects)
+	}
+}
+
+func TestPartialTypeIVZeusMutex(t *testing.T) {
+	// Simulating _AVIRA_2109 removes injection + winlogon persistence
+	// but not the C&C loop.
+	mutated, natural := runPair(t, malware.Zeus, []emu.Mutation{
+		{API: "OpenMutexA", CallerPC: -1, Identifier: "_AVIRA_2109", Mode: emu.ForceSuccess},
+	})
+	r := Classify(mutated, natural)
+	if r.Primary == Full {
+		t.Fatalf("mutex vaccine classified Full; effects = %v", r.Effects)
+	}
+	if !r.Has(TypeIV) {
+		t.Errorf("Type-IV not detected; effects = %v", r.Effects)
+	}
+	if !r.Has(TypeIII) {
+		t.Errorf("Type-III (winlogon persistence) not detected; effects = %v", r.Effects)
+	}
+	if r.Has(TypeII) {
+		t.Errorf("Type-II wrongly detected (C&C unaffected); effects = %v", r.Effects)
+	}
+}
+
+func TestPartialTypeIIQakbotUpdateMarker(t *testing.T) {
+	// Qakbot's second registry marker guards only its C&C loop.
+	mutated, natural := runPair(t, malware.Qakbot, []emu.Mutation{
+		{API: "RegOpenKeyExA", CallerPC: -1,
+			Identifier: `HKCU\Software\Microsoft\SqtUpd`, Mode: emu.ForceSuccess},
+	})
+	r := Classify(mutated, natural)
+	if r.Primary != TypeII {
+		t.Fatalf("primary = %v, effects = %v", r.Primary, r.Effects)
+	}
+}
+
+func TestPartialTypeISalityDriver(t *testing.T) {
+	// Blocking the .sys drop disables Sality's kernel injection.
+	mutated, natural := runPair(t, malware.Sality, []emu.Mutation{
+		{API: "CreateFileA", CallerPC: -1,
+			Identifier: `C:\Windows\system32\drivers\fqnx.sys`, Mode: emu.ForceFailure},
+	})
+	r := Classify(mutated, natural)
+	if !r.Has(TypeI) {
+		t.Fatalf("Type-I not detected; primary = %v, effects = %v", r.Primary, r.Effects)
+	}
+}
+
+func TestNoImmunizationOnUnrelatedMutation(t *testing.T) {
+	// Mutating a call the malware never makes changes nothing.
+	mutated, natural := runPair(t, malware.Zeus, []emu.Mutation{
+		{API: "OpenMutexA", CallerPC: -1, Identifier: "not-used-anywhere", Mode: emu.ForceSuccess},
+	})
+	r := Classify(mutated, natural)
+	if r.Immunizing() {
+		t.Fatalf("unrelated mutation classified %v; Δm=%d Δn=%d",
+			r.Effects, len(r.Diff.DeltaM), len(r.Diff.DeltaN))
+	}
+	if !r.Diff.Empty() {
+		t.Errorf("expected empty diff, got Δm=%d Δn=%d", len(r.Diff.DeltaM), len(r.Diff.DeltaN))
+	}
+}
+
+func TestBDR(t *testing.T) {
+	mk := func(n int) *trace.Trace {
+		tr := &trace.Trace{}
+		for i := 0; i < n; i++ {
+			tr.Calls = append(tr.Calls, trace.APICall{API: "X"})
+		}
+		return tr
+	}
+	cases := []struct {
+		nn, nd int
+		want   float64
+	}{
+		{100, 30, 0.7},
+		{100, 100, 0},
+		{100, 120, 0}, // more calls after vaccination: no reduction
+		{0, 0, 0},
+		{10, 0, 1.0},
+	}
+	for _, tc := range cases {
+		if got := BDR(mk(tc.nn), mk(tc.nd)); got != tc.want {
+			t.Errorf("BDR(%d,%d) = %v, want %v", tc.nn, tc.nd, got, tc.want)
+		}
+	}
+}
+
+func TestBDREndToEnd(t *testing.T) {
+	// PoisonIvy with the marker vaccine: BDR should be large (the whole
+	// payload disappears).
+	g := malware.NewGenerator(1)
+	s, _ := g.FamilySample(malware.PoisonIvy)
+	normal, _ := emu.Run(s.Program, winenv.New(winenv.DefaultIdentity()), emu.Options{Seed: 4})
+	env := winenv.New(winenv.DefaultIdentity())
+	env.Inject(winenv.Resource{Kind: winenv.KindMutex, Name: "!VoqA.I4"})
+	deployed, _ := emu.Run(s.Program, env, emu.Options{Seed: 4})
+	bdr := BDR(normal, deployed)
+	if bdr < 0.5 {
+		t.Errorf("full-immunization BDR = %.2f, want >= 0.5", bdr)
+	}
+	if bdr >= 1.0 {
+		t.Errorf("BDR = %.2f; the pre-exit probe still counts (paper: not 100%%)", bdr)
+	}
+}

@@ -1,0 +1,243 @@
+package isa
+
+import "fmt"
+
+// Builder assembles Programs with a fluent interface. It is the layer the
+// synthetic-malware corpus (package malware) uses to express
+// resource-sensitive behaviours.
+//
+// Builders are not safe for concurrent use.
+type Builder struct {
+	name    string
+	instrs  []Instr
+	data    []DataItem
+	pending string // label awaiting its instruction
+	errs    []error
+}
+
+// NewBuilder creates a builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name}
+}
+
+// RData adds a read-only string to the data segment (a .rdata item),
+// NUL-terminated, and returns its symbol name.
+func (b *Builder) RData(name, s string) string {
+	b.addData(name, append([]byte(s), 0), true)
+	return name
+}
+
+// RBytes adds read-only raw bytes to the data segment.
+func (b *Builder) RBytes(name string, data []byte) string {
+	b.addData(name, data, true)
+	return name
+}
+
+// Buf adds a writable zero-filled buffer of the given size.
+func (b *Builder) Buf(name string, size int) string {
+	b.addData(name, make([]byte, size), false)
+	return name
+}
+
+// DataBytes adds a writable initialized data item.
+func (b *Builder) DataBytes(name string, data []byte) string {
+	b.addData(name, data, false)
+	return name
+}
+
+func (b *Builder) addData(name string, data []byte, ro bool) {
+	for _, d := range b.data {
+		if d.Name == name {
+			b.errs = append(b.errs, fmt.Errorf("isa: duplicate data %q", name))
+			return
+		}
+	}
+	b.data = append(b.data, DataItem{Name: name, Data: data, ReadOnly: ro})
+}
+
+// Label attaches a label to the next emitted instruction.
+func (b *Builder) Label(l string) *Builder {
+	if b.pending != "" {
+		// Two consecutive labels: pin the first to a NOP.
+		b.emit(Instr{Op: NOP})
+	}
+	b.pending = l
+	return b
+}
+
+func (b *Builder) emit(in Instr) *Builder {
+	if b.pending != "" {
+		in.Label = b.pending
+		b.pending = ""
+	}
+	b.instrs = append(b.instrs, in)
+	return b
+}
+
+// Comment attaches a comment to the most recently emitted instruction.
+func (b *Builder) Comment(c string) *Builder {
+	if n := len(b.instrs); n > 0 {
+		b.instrs[n-1].Comment = c
+	}
+	return b
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(Instr{Op: NOP}) }
+
+// Mov emits a 32-bit move.
+func (b *Builder) Mov(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: MOV, Dst: dst, Src: src})
+}
+
+// Movb emits an 8-bit move.
+func (b *Builder) Movb(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: MOVB, Dst: dst, Src: src})
+}
+
+// Lea emits a load-effective-address.
+func (b *Builder) Lea(dst Reg, mem Operand) *Builder {
+	return b.emit(Instr{Op: LEA, Dst: R(dst), Src: mem})
+}
+
+// Push emits a stack push.
+func (b *Builder) Push(src Operand) *Builder {
+	return b.emit(Instr{Op: PUSH, Dst: src})
+}
+
+// Pop emits a stack pop.
+func (b *Builder) Pop(dst Operand) *Builder {
+	return b.emit(Instr{Op: POP, Dst: dst})
+}
+
+// Add emits dst += src.
+func (b *Builder) Add(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: ADD, Dst: dst, Src: src})
+}
+
+// Sub emits dst -= src.
+func (b *Builder) Sub(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: SUB, Dst: dst, Src: src})
+}
+
+// Xor emits dst ^= src.
+func (b *Builder) Xor(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: XOR, Dst: dst, Src: src})
+}
+
+// And emits dst &= src.
+func (b *Builder) And(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: AND, Dst: dst, Src: src})
+}
+
+// Or emits dst |= src.
+func (b *Builder) Or(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: OR, Dst: dst, Src: src})
+}
+
+// Shl emits dst <<= src.
+func (b *Builder) Shl(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: SHL, Dst: dst, Src: src})
+}
+
+// Shr emits dst >>= src.
+func (b *Builder) Shr(dst, src Operand) *Builder {
+	return b.emit(Instr{Op: SHR, Dst: dst, Src: src})
+}
+
+// Inc emits dst++.
+func (b *Builder) Inc(dst Operand) *Builder {
+	return b.emit(Instr{Op: INC, Dst: dst})
+}
+
+// Dec emits dst--.
+func (b *Builder) Dec(dst Operand) *Builder {
+	return b.emit(Instr{Op: DEC, Dst: dst})
+}
+
+// Cmp emits a compare (sets flags).
+func (b *Builder) Cmp(a, c Operand) *Builder {
+	return b.emit(Instr{Op: CMP, Dst: a, Src: c})
+}
+
+// Test emits a bitwise test (sets flags).
+func (b *Builder) Test(a, c Operand) *Builder {
+	return b.emit(Instr{Op: TEST, Dst: a, Src: c})
+}
+
+// Jmp emits an unconditional jump.
+func (b *Builder) Jmp(target string) *Builder {
+	return b.emit(Instr{Op: JMP, Target: target})
+}
+
+// Jz emits jump-if-zero.
+func (b *Builder) Jz(target string) *Builder {
+	return b.emit(Instr{Op: JZ, Target: target})
+}
+
+// Jnz emits jump-if-not-zero.
+func (b *Builder) Jnz(target string) *Builder {
+	return b.emit(Instr{Op: JNZ, Target: target})
+}
+
+// Jl emits jump-if-less.
+func (b *Builder) Jl(target string) *Builder {
+	return b.emit(Instr{Op: JL, Target: target})
+}
+
+// Jge emits jump-if-greater-or-equal.
+func (b *Builder) Jge(target string) *Builder {
+	return b.emit(Instr{Op: JGE, Target: target})
+}
+
+// Call emits an intra-program call.
+func (b *Builder) Call(target string) *Builder {
+	return b.emit(Instr{Op: CALL, Target: target})
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() *Builder { return b.emit(Instr{Op: RET}) }
+
+// CallAPI emits an API call that pushes the given arguments (first
+// argument pushed last, so it sits at [esp]) and invokes the API. The
+// callee pops the arguments; the result lands in EAX.
+func (b *Builder) CallAPI(api string, args ...Operand) *Builder {
+	for i := len(args) - 1; i >= 0; i-- {
+		b.Push(args[i])
+	}
+	return b.emit(Instr{Op: CALLAPI, API: api, NArgs: len(args)})
+}
+
+// Halt emits a normal program stop.
+func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: HALT}) }
+
+// Raw emits a pre-constructed instruction (used by the variant mutator).
+func (b *Builder) Raw(in Instr) *Builder { return b.emit(in) }
+
+// Len returns the number of instructions emitted so far.
+func (b *Builder) Len() int { return len(b.instrs) }
+
+// Build finalizes the program and validates it.
+func (b *Builder) Build() (*Program, error) {
+	if b.pending != "" {
+		b.emit(Instr{Op: NOP})
+	}
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	p := &Program{Name: b.name, Instrs: b.instrs, Data: b.data}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; for use in tests and the
+// static corpus templates whose structure is fixed at compile time.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

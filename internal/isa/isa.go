@@ -1,0 +1,230 @@
+// Package isa defines a compact x86-flavoured instruction set used to
+// express the synthetic malware and benign programs this reproduction
+// analyses. It plays the role the BIL intermediate language plays in the
+// AUTOVAC paper (§VI): a register/flags/memory machine over which dynamic
+// taint analysis, predicate detection, backward slicing, and caller-PC
+// logging are performed.
+//
+// The ISA is deliberately small: eight 32-bit registers, three flags,
+// 32-bit and 8-bit moves, ALU operations, compare/test, conditional
+// jumps, intra-program call/ret, and a CALLAPI instruction that invokes a
+// labelled Windows-style API (see package winapi) with stdcall-like
+// argument passing on the stack.
+package isa
+
+import "fmt"
+
+// Reg is a 32-bit general-purpose register.
+type Reg uint8
+
+// The eight general-purpose registers.
+const (
+	EAX Reg = iota
+	EBX
+	ECX
+	EDX
+	ESI
+	EDI
+	EBP
+	ESP
+)
+
+// NumRegs is the number of general-purpose registers.
+const NumRegs = 8
+
+// String returns the conventional register name.
+func (r Reg) String() string {
+	names := [...]string{"eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp"}
+	if int(r) < len(names) {
+		return names[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Valid reports whether r is one of the eight registers.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// OperandKind distinguishes the three operand forms.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	// KindNone marks an absent operand.
+	KindNone OperandKind = iota
+	// KindReg is a register operand.
+	KindReg
+	// KindImm is an immediate operand, possibly symbolic (Sym != "").
+	KindImm
+	// KindMem is a memory operand [Base+Disp] (or absolute [Disp] when
+	// HasBase is false, possibly symbolic).
+	KindMem
+)
+
+// Operand is an instruction operand.
+type Operand struct {
+	Kind OperandKind
+	// Reg is the register for KindReg, or the base register for KindMem
+	// when HasBase is set.
+	Reg Reg
+	// Imm is the immediate value (KindImm) or displacement (KindMem).
+	Imm uint32
+	// Sym, when non-empty, names a data symbol whose load address is
+	// added to Imm at load time.
+	Sym string
+	// HasBase marks a KindMem operand as register-relative.
+	HasBase bool
+}
+
+// R returns a register operand.
+func R(r Reg) Operand { return Operand{Kind: KindReg, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v uint32) Operand { return Operand{Kind: KindImm, Imm: v} }
+
+// Sym returns an immediate operand holding the address of a data symbol.
+func Sym(name string) Operand { return Operand{Kind: KindImm, Sym: name} }
+
+// Mem returns a memory operand [base+disp].
+func Mem(base Reg, disp int32) Operand {
+	return Operand{Kind: KindMem, Reg: base, Imm: uint32(disp), HasBase: true}
+}
+
+// MemAbs returns an absolute memory operand [addr].
+func MemAbs(addr uint32) Operand { return Operand{Kind: KindMem, Imm: addr} }
+
+// MemSym returns a memory operand addressing a data symbol directly.
+func MemSym(name string) Operand { return Operand{Kind: KindMem, Sym: name} }
+
+// String renders the operand in assembly syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.String()
+	case KindImm:
+		if o.Sym != "" {
+			if o.Imm != 0 {
+				return fmt.Sprintf("%s+%d", o.Sym, o.Imm)
+			}
+			return o.Sym
+		}
+		return fmt.Sprintf("0x%x", o.Imm)
+	case KindMem:
+		switch {
+		case o.HasBase && o.Imm != 0:
+			return fmt.Sprintf("[%s%+d]", o.Reg, int32(o.Imm))
+		case o.HasBase:
+			return fmt.Sprintf("[%s]", o.Reg)
+		case o.Sym != "":
+			return fmt.Sprintf("[%s]", o.Sym)
+		default:
+			return fmt.Sprintf("[0x%x]", o.Imm)
+		}
+	default:
+		return "<none>"
+	}
+}
+
+// Opcode identifies an instruction.
+type Opcode uint8
+
+// Instruction opcodes.
+const (
+	NOP Opcode = iota
+	// Data movement.
+	MOV  // mov dst, src (32-bit)
+	MOVB // movb dst, src (8-bit)
+	LEA  // lea dst, mem (address of memory operand)
+	PUSH // push src
+	POP  // pop dst
+	// ALU.
+	ADD
+	SUB
+	XOR
+	AND
+	OR
+	SHL
+	SHR
+	INC
+	DEC
+	// Comparison (set flags only).
+	CMP
+	TEST
+	// Control flow.
+	JMP
+	JZ  // jump if ZF
+	JNZ // jump if !ZF
+	JL  // jump if SF (signed less after CMP)
+	JGE // jump if !SF
+	CALL
+	RET
+	// CALLAPI invokes a labelled Windows-style API. Arguments are on the
+	// stack ([esp] is the first argument); the callee pops them
+	// (stdcall). The result is placed in EAX.
+	CALLAPI
+	// HALT stops execution normally.
+	HALT
+)
+
+// String returns the mnemonic.
+func (op Opcode) String() string {
+	names := [...]string{
+		"nop", "mov", "movb", "lea", "push", "pop",
+		"add", "sub", "xor", "and", "or", "shl", "shr", "inc", "dec",
+		"cmp", "test",
+		"jmp", "jz", "jnz", "jl", "jge", "call", "ret",
+		"callapi", "halt",
+	}
+	if int(op) < len(names) {
+		return names[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsJump reports whether the opcode is a (conditional) jump.
+func (op Opcode) IsJump() bool { return op >= JMP && op <= JGE }
+
+// IsPredicate reports whether the opcode is a comparison that sets flags
+// from data operands. Tainted operands reaching a predicate flag the
+// sample as resource-sensitive (paper §III-B).
+func (op Opcode) IsPredicate() bool { return op == CMP || op == TEST }
+
+// Instr is one instruction.
+type Instr struct {
+	Op  Opcode
+	Dst Operand
+	Src Operand
+	// Target is the label for jumps and intra-program calls.
+	Target string
+	// API is the API name for CALLAPI.
+	API string
+	// NArgs is the number of stack arguments for CALLAPI.
+	NArgs int
+	// Label, when non-empty, names this instruction as a jump target.
+	Label string
+	// Comment is carried through to disassembly.
+	Comment string
+}
+
+// String renders the instruction in assembly syntax.
+func (in Instr) String() string {
+	var s string
+	switch {
+	case in.Op == CALLAPI:
+		s = fmt.Sprintf("callapi %s/%d", in.API, in.NArgs)
+	case in.Op == CALL || in.Op.IsJump():
+		s = fmt.Sprintf("%s %s", in.Op, in.Target)
+	case in.Dst.Kind != KindNone && in.Src.Kind != KindNone:
+		s = fmt.Sprintf("%s %s, %s", in.Op, in.Dst, in.Src)
+	case in.Dst.Kind != KindNone:
+		s = fmt.Sprintf("%s %s", in.Op, in.Dst)
+	default:
+		s = in.Op.String()
+	}
+	if in.Label != "" {
+		s = in.Label + ": " + s
+	}
+	if in.Comment != "" {
+		s += " ; " + in.Comment
+	}
+	return s
+}

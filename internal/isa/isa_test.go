@@ -1,0 +1,276 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{EAX: "eax", EBX: "ebx", ESP: "esp", EBP: "ebp"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+	if !EAX.Valid() || Reg(8).Valid() {
+		t.Error("Valid() wrong for EAX or Reg(8)")
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := []struct {
+		op   Operand
+		want string
+	}{
+		{R(EAX), "eax"},
+		{Imm(0x10), "0x10"},
+		{Sym("buf"), "buf"},
+		{Mem(EBP, -0x1c), "[ebp-28]"},
+		{Mem(ESI, 0), "[esi]"},
+		{MemAbs(0x400000), "[0x400000]"},
+		{MemSym("name"), "[name]"},
+		{Operand{}, "<none>"},
+	}
+	for _, tc := range cases {
+		if got := tc.op.String(); got != tc.want {
+			t.Errorf("%#v.String() = %q, want %q", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	in := Instr{Op: MOV, Dst: R(EAX), Src: Imm(1), Label: "start", Comment: "init"}
+	got := in.String()
+	if !strings.Contains(got, "start:") || !strings.Contains(got, "mov eax, 0x1") || !strings.Contains(got, "; init") {
+		t.Errorf("Instr.String() = %q", got)
+	}
+	api := Instr{Op: CALLAPI, API: "OpenMutexA", NArgs: 1}
+	if got := api.String(); got != "callapi OpenMutexA/1" {
+		t.Errorf("api String = %q", got)
+	}
+	j := Instr{Op: JNZ, Target: "done"}
+	if got := j.String(); got != "jnz done" {
+		t.Errorf("jump String = %q", got)
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !CMP.IsPredicate() || !TEST.IsPredicate() || MOV.IsPredicate() {
+		t.Error("IsPredicate wrong")
+	}
+	for _, op := range []Opcode{JMP, JZ, JNZ, JL, JGE} {
+		if !op.IsJump() {
+			t.Errorf("%v.IsJump() = false", op)
+		}
+	}
+	if CALL.IsJump() || MOV.IsJump() {
+		t.Error("IsJump wrong for CALL/MOV")
+	}
+}
+
+func TestBuilderBasicProgram(t *testing.T) {
+	b := NewBuilder("t")
+	b.RData("name", "_AVIRA_2109")
+	b.Buf("buf", 64)
+	b.CallAPI("OpenMutexA", Sym("name"))
+	b.Test(R(EAX), R(EAX))
+	b.Jnz("infected")
+	b.CallAPI("CreateMutexA", Sym("name"))
+	b.Halt()
+	b.Label("infected")
+	b.CallAPI("ExitProcess", Imm(0))
+
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "t" {
+		t.Errorf("name = %q", p.Name)
+	}
+	// CallAPI with one arg expands to push + callapi.
+	if p.Instrs[0].Op != PUSH || p.Instrs[1].Op != CALLAPI {
+		t.Errorf("expansion wrong: %v %v", p.Instrs[0].Op, p.Instrs[1].Op)
+	}
+	if idx, ok := p.Labels()["infected"]; !ok || p.Instrs[idx].Label != "infected" {
+		t.Error("label resolution failed")
+	}
+	if p.FindData("name") == nil || !p.FindData("name").ReadOnly {
+		t.Error("rdata item wrong")
+	}
+	if p.FindData("buf") == nil || p.FindData("buf").ReadOnly || len(p.FindData("buf").Data) != 64 {
+		t.Error("buffer item wrong")
+	}
+	if p.FindData("missing") != nil {
+		t.Error("FindData(missing) != nil")
+	}
+}
+
+func TestCallAPIArgOrder(t *testing.T) {
+	b := NewBuilder("t")
+	b.RData("a", "a")
+	b.RData("c", "c")
+	b.CallAPI("F", Sym("a"), Imm(2), Sym("c"))
+	p := b.MustBuild()
+	// Pushed in reverse: c, 2, a — so [esp] is the first argument.
+	if p.Instrs[0].Dst.Sym != "c" || p.Instrs[1].Dst.Imm != 2 || p.Instrs[2].Dst.Sym != "a" {
+		t.Errorf("arg push order wrong: %v", p.Instrs[:3])
+	}
+	if p.Instrs[3].NArgs != 3 {
+		t.Errorf("NArgs = %d", p.Instrs[3].NArgs)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Program, error)
+		want  string
+	}{
+		{"unresolved jump", func() (*Program, error) {
+			return NewBuilder("x").Jmp("nowhere").Build()
+		}, "unresolved target"},
+		{"unknown symbol", func() (*Program, error) {
+			return NewBuilder("x").Push(Sym("ghost")).Build()
+		}, "unknown symbol"},
+		{"duplicate data", func() (*Program, error) {
+			b := NewBuilder("x")
+			b.RData("d", "1")
+			b.RData("d", "2")
+			b.Halt()
+			return b.Build()
+		}, "duplicate data"},
+		{"duplicate label", func() (*Program, error) {
+			b := NewBuilder("x")
+			b.Label("l").Nop()
+			b.Label("l").Nop()
+			return b.Build()
+		}, "duplicate label"},
+		{"callapi without name", func() (*Program, error) {
+			b := NewBuilder("x")
+			b.Raw(Instr{Op: CALLAPI})
+			return b.Build()
+		}, "callapi without API name"},
+		{"invalid register", func() (*Program, error) {
+			b := NewBuilder("x")
+			b.Raw(Instr{Op: MOV, Dst: Operand{Kind: KindReg, Reg: 99}, Src: Imm(0)})
+			return b.Build()
+		}, "invalid register"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.build()
+			if err == nil {
+				t.Fatal("Build succeeded, want error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConsecutiveLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("a")
+	b.Label("b")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := p.Labels()
+	if _, ok := labels["a"]; !ok {
+		t.Error("label a lost")
+	}
+	if _, ok := labels["b"]; !ok {
+		t.Error("label b lost")
+	}
+}
+
+func TestTrailingLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("end")
+	b.Label("end")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The trailing label is pinned to an emitted NOP.
+	if p.Instrs[len(p.Instrs)-1].Label != "end" {
+		t.Error("trailing label not pinned")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder("demo")
+	b.RData("s", "hello")
+	b.Mov(R(EAX), Imm(5)).Comment("count")
+	b.Halt()
+	text := b.MustBuild().Disassemble()
+	for _, want := range []string{"program demo", ".rdata s:", "mov eax, 0x5", "; count", "halt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBuilderLenAndComment(t *testing.T) {
+	b := NewBuilder("t")
+	if b.Len() != 0 {
+		t.Error("empty Len != 0")
+	}
+	b.Nop()
+	if b.Len() != 1 {
+		t.Error("Len after Nop != 1")
+	}
+	// Comment on empty builder is a no-op (no panic).
+	NewBuilder("e").Comment("x")
+}
+
+func TestBuilderAllEmitters(t *testing.T) {
+	// Exercise every emitter once; the program must validate and carry
+	// the expected opcodes in order.
+	b := NewBuilder("all-ops")
+	b.RBytes("raw", []byte{1, 2, 3})
+	b.DataBytes("init", []byte("abc"))
+	b.Buf("buf", 8)
+	b.Movb(R(EAX), MemSym("init"))
+	b.Lea(EBX, MemSym("buf"))
+	b.Pop(R(ECX)) // will underflow at runtime; structurally valid
+	b.Add(R(EAX), Imm(1))
+	b.Sub(R(EAX), Imm(1))
+	b.Xor(R(EAX), R(EAX))
+	b.And(R(EAX), Imm(0xFF))
+	b.Or(R(EAX), Imm(1))
+	b.Shl(R(EAX), Imm(2))
+	b.Shr(R(EAX), Imm(1))
+	b.Inc(R(EDX))
+	b.Dec(R(EDX))
+	b.Cmp(R(EAX), Imm(0))
+	b.Jz("next")
+	b.Label("next")
+	b.Jl("next2")
+	b.Label("next2")
+	b.Jge("next3")
+	b.Label("next3")
+	b.Call("fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Opcode{MOVB, LEA, POP, ADD, SUB, XOR, AND, OR, SHL, SHR, INC, DEC, CMP, JZ}
+	for i, op := range want {
+		if p.Instrs[i].Op != op {
+			t.Errorf("instr %d = %v, want %v", i, p.Instrs[i].Op, op)
+		}
+	}
+	if p.FindData("raw") == nil || !p.FindData("raw").ReadOnly {
+		t.Error("RBytes item wrong")
+	}
+	if p.FindData("init") == nil || p.FindData("init").ReadOnly {
+		t.Error("DataBytes item wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DataItem is one named blob in a program's data segment.
+type DataItem struct {
+	Name string
+	Data []byte
+	// ReadOnly marks .rdata items (static strings); taint analysis
+	// classifies identifiers terminating in read-only data as static
+	// (paper §IV-C, Figure 2).
+	ReadOnly bool
+}
+
+// Program is an executable unit: an instruction stream plus data items.
+// Programs are immutable once built; the emulator copies data into its
+// own memory at load time.
+type Program struct {
+	// Name identifies the program (sample ID or benign program name).
+	Name string
+	// Instrs is the instruction stream; the entry point is index 0.
+	Instrs []Instr
+	// Data lists the data items, laid out in order at load time.
+	Data []DataItem
+
+	labels map[string]int // label -> instruction index
+}
+
+// Labels returns the mapping from label to instruction index, computing
+// it on first use.
+func (p *Program) Labels() map[string]int {
+	if p.labels == nil {
+		p.labels = make(map[string]int)
+		for i, in := range p.Instrs {
+			if in.Label != "" {
+				p.labels[in.Label] = i
+			}
+		}
+	}
+	return p.labels
+}
+
+// FindData returns the named data item, or nil.
+func (p *Program) FindData(name string) *DataItem {
+	for i := range p.Data {
+		if p.Data[i].Name == name {
+			return &p.Data[i]
+		}
+	}
+	return nil
+}
+
+// Validate checks structural integrity: jump/call targets resolve,
+// symbolic operands name data items, registers are valid, CALLAPI has an
+// API name, and labels are unique.
+func (p *Program) Validate() error {
+	seen := make(map[string]bool)
+	for i, in := range p.Instrs {
+		if in.Label != "" {
+			if seen[in.Label] {
+				return fmt.Errorf("isa: %s: duplicate label %q at %d", p.Name, in.Label, i)
+			}
+			seen[in.Label] = true
+		}
+	}
+	labels := p.Labels()
+	dataNames := make(map[string]bool, len(p.Data))
+	for _, d := range p.Data {
+		if dataNames[d.Name] {
+			return fmt.Errorf("isa: %s: duplicate data item %q", p.Name, d.Name)
+		}
+		dataNames[d.Name] = true
+	}
+	checkOperand := func(i int, o Operand) error {
+		switch o.Kind {
+		case KindReg:
+			if !o.Reg.Valid() {
+				return fmt.Errorf("isa: %s: invalid register at %d", p.Name, i)
+			}
+		case KindImm, KindMem:
+			if o.Sym != "" && !dataNames[o.Sym] {
+				return fmt.Errorf("isa: %s: unknown symbol %q at %d", p.Name, o.Sym, i)
+			}
+			if o.Kind == KindMem && o.HasBase && !o.Reg.Valid() {
+				return fmt.Errorf("isa: %s: invalid base register at %d", p.Name, i)
+			}
+		}
+		return nil
+	}
+	for i, in := range p.Instrs {
+		if err := checkOperand(i, in.Dst); err != nil {
+			return err
+		}
+		if err := checkOperand(i, in.Src); err != nil {
+			return err
+		}
+		switch {
+		case in.Op == CALLAPI && in.API == "":
+			return fmt.Errorf("isa: %s: callapi without API name at %d", p.Name, i)
+		case (in.Op.IsJump() || in.Op == CALL) && in.Target == "":
+			return fmt.Errorf("isa: %s: %s without target at %d", p.Name, in.Op, i)
+		case in.Op.IsJump() || in.Op == CALL:
+			if _, ok := labels[in.Target]; !ok {
+				return fmt.Errorf("isa: %s: unresolved target %q at %d", p.Name, in.Target, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the whole program as assembly text.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "; program %s (%d instrs, %d data items)\n",
+		p.Name, len(p.Instrs), len(p.Data))
+	for _, d := range p.Data {
+		seg := ".data"
+		if d.ReadOnly {
+			seg = ".rdata"
+		}
+		fmt.Fprintf(&b, "%s %s: %q\n", seg, d.Name, d.Data)
+	}
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&b, "%4d: %s\n", i, in)
+	}
+	return b.String()
+}

@@ -1,0 +1,52 @@
+package taint
+
+import "testing"
+
+func BenchmarkSetUnionSmall(b *testing.B) {
+	x := Of(1, 5, 9)
+	y := Of(2, 5, 63)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = x.Union(y)
+	}
+}
+
+func BenchmarkSetUnionWithEmpty(b *testing.B) {
+	x := Of(1, 5, 9)
+	var empty Set
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// The common case in the propagation loop: most operands carry
+		// no taint, and the union must be allocation-free.
+		_ = x.Union(empty)
+	}
+}
+
+func BenchmarkSetWith(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var s Set
+		_ = s.With(Source(i % 256))
+	}
+}
+
+func BenchmarkSetSources(b *testing.B) {
+	s := Of(1, 64, 129, 200, 255)
+	for i := 0; i < b.N; i++ {
+		if len(s.Sources()) != 5 {
+			b.Fatal("bad")
+		}
+	}
+}
+
+func TestUnionWithEmptyAllocFree(t *testing.T) {
+	x := Of(1, 5, 9)
+	var empty Set
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = x.Union(empty)
+		_ = empty.Union(x)
+	})
+	if allocs != 0 {
+		t.Errorf("union with empty allocates %.1f/op", allocs)
+	}
+}

@@ -1,0 +1,166 @@
+package taint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptySet(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Len() != 0 || s.Has(0) || s.Has(100) {
+		t.Error("zero Set not empty")
+	}
+	if s.String() != "{}" {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestWithHas(t *testing.T) {
+	s := Of(3, 64, 129)
+	for _, src := range []Source{3, 64, 129} {
+		if !s.Has(src) {
+			t.Errorf("missing %d", src)
+		}
+	}
+	for _, src := range []Source{0, 2, 63, 65, 128, 130} {
+		if s.Has(src) {
+			t.Errorf("spurious %d", src)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestWithIsImmutable(t *testing.T) {
+	a := Of(1)
+	b := a.With(2)
+	if a.Has(2) {
+		t.Error("With mutated receiver")
+	}
+	if !b.Has(1) || !b.Has(2) {
+		t.Error("With lost labels")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := Of(1, 70)
+	b := Of(2, 70, 200)
+	u := a.Union(b)
+	want := []Source{1, 2, 70, 200}
+	got := u.Sources()
+	if len(got) != len(want) {
+		t.Fatalf("Sources = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sources = %v, want %v", got, want)
+		}
+	}
+	// Union with the empty set returns the operand.
+	var empty Set
+	if !a.Union(empty).Equal(a) || !empty.Union(a).Equal(a) {
+		t.Error("union with empty wrong")
+	}
+}
+
+func TestEqualAndContains(t *testing.T) {
+	a := Of(1, 2)
+	b := Of(1, 2)
+	c := Of(1, 2, 3)
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("Equal wrong")
+	}
+	// Trailing zero words do not break equality.
+	d := Of(1, 200) // allocates 4 words
+	e := Of(1)
+	if d.Equal(e) {
+		t.Error("Equal ignored label 200")
+	}
+	if !c.Contains(a) || a.Contains(c) {
+		t.Error("Contains wrong")
+	}
+	if !a.Contains(Set{}) {
+		t.Error("every set contains empty")
+	}
+	if (Set{}).Contains(a) {
+		t.Error("empty contains non-empty")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Of(5, 1, 9).String(); got != "{1,5,9}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Properties: union is commutative, associative, idempotent, and
+// monotone (result contains both operands) — the soundness property the
+// propagation step relies on.
+func TestUnionProperties(t *testing.T) {
+	mk := func(xs []uint16) Set {
+		var s Set
+		for _, x := range xs {
+			s = s.With(Source(x % 512))
+		}
+		return s
+	}
+	comm := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		return a.Union(b).Equal(b.Union(a))
+	}
+	assoc := func(xs, ys, zs []uint16) bool {
+		a, b, c := mk(xs), mk(ys), mk(zs)
+		return a.Union(b).Union(c).Equal(a.Union(b.Union(c)))
+	}
+	idem := func(xs []uint16) bool {
+		a := mk(xs)
+		return a.Union(a).Equal(a)
+	}
+	mono := func(xs, ys []uint16) bool {
+		a, b := mk(xs), mk(ys)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	cfg := &quick.Config{MaxCount: 100}
+	for name, f := range map[string]interface{}{
+		"commutative": comm, "associative": assoc,
+		"idempotent": idem, "monotone": mono,
+	} {
+		if err := quick.Check(f, cfg); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	var tbl Table
+	if tbl.Len() != 0 {
+		t.Error("zero Table not empty")
+	}
+	s1 := tbl.Add(SourceInfo{API: "OpenMutexA", Identifier: "_AVIRA_2109", ResourceKind: "mutex", CallerPC: 10})
+	s2 := tbl.Add(SourceInfo{API: "CreateFileA", Identifier: `C:\x`, ResourceKind: "file", CallerPC: 20, Success: true})
+	if s1 == s2 {
+		t.Fatal("labels not unique")
+	}
+	info, ok := tbl.Info(s1)
+	if !ok || info.API != "OpenMutexA" || info.Source != s1 {
+		t.Errorf("Info = %+v %v", info, ok)
+	}
+	if _, ok := tbl.Info(99); ok {
+		t.Error("Info(99) ok")
+	}
+	files := tbl.Lookup(func(i SourceInfo) bool { return i.ResourceKind == "file" })
+	if len(files) != 1 || files[0] != s2 {
+		t.Errorf("Lookup = %v", files)
+	}
+	if got := len(tbl.All()); got != 2 {
+		t.Errorf("All len = %d", got)
+	}
+	// All returns a copy.
+	all := tbl.All()
+	all[0].API = "mutated"
+	if info, _ := tbl.Info(s1); info.API == "mutated" {
+		t.Error("All leaked internal slice")
+	}
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"autovac/internal/isa"
+	"autovac/internal/taint"
+)
+
+func sample() *Trace {
+	return &Trace{
+		Program: "zeus-001",
+		Calls: []APICall{
+			{Seq: 0, API: "OpenMutexA", CallerPC: 3, Args: []ArgValue{{Raw: 0x400000, Str: "_AVIRA_2109", Static: true}},
+				Ret: 0, LastError: 2, ResourceKind: "mutex", Identifier: "_AVIRA_2109", Op: "open",
+				TaintSources: []taint.Source{0}},
+			{Seq: 1, API: "CreateMutexA", CallerPC: 9, Args: []ArgValue{{Raw: 0x400000, Str: "_AVIRA_2109", Static: true}},
+				Ret: 4, LastError: 0, Success: true, ResourceKind: "mutex", Identifier: "_AVIRA_2109", Op: "create",
+				TaintSources: []taint.Source{1}},
+			{Seq: 2, API: "ExitProcess", CallerPC: 20},
+		},
+		Predicates: []PredicateHit{{PC: 5, Sources: []taint.Source{0}}},
+		Exit:       ExitProcess,
+		StepCount:  42,
+	}
+}
+
+func TestExitReasonString(t *testing.T) {
+	cases := map[ExitReason]string{
+		ExitHalt: "halt", ExitProcess: "exit-process",
+		ExitLimit: "step-limit", ExitFault: "fault",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestCallsToAndResourceCalls(t *testing.T) {
+	tr := sample()
+	if got := tr.CallsTo("OpenMutexA"); len(got) != 1 || got[0].Seq != 0 {
+		t.Errorf("CallsTo = %+v", got)
+	}
+	if got := tr.CallsTo("Nope"); got != nil {
+		t.Errorf("CallsTo(Nope) = %+v", got)
+	}
+	rc := tr.ResourceCalls()
+	if len(rc) != 2 {
+		t.Errorf("ResourceCalls = %d, want 2", len(rc))
+	}
+	if tr.NativeCallCount() != 3 {
+		t.Errorf("NativeCallCount = %d", tr.NativeCallCount())
+	}
+	if !tr.HasTaintedPredicate() {
+		t.Error("HasTaintedPredicate = false")
+	}
+}
+
+func TestResourceOpStats(t *testing.T) {
+	tr := sample()
+	stats := tr.ResourceOpStats()
+	if len(stats) != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].ResourceKind != "mutex" || stats[0].Op != "open" || stats[0].Count != 1 {
+		t.Errorf("stats[0] = %+v", stats[0])
+	}
+	// Repeats accumulate.
+	tr.Calls = append(tr.Calls, tr.Calls[0])
+	stats = tr.ResourceOpStats()
+	if stats[0].Count != 2 {
+		t.Errorf("after repeat, count = %d", stats[0].Count)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := sample()
+	tr.Steps = []Step{{
+		Index: 0, PC: 3,
+		Instr:  isa.Instr{Op: isa.CALLAPI, API: "OpenMutexA", NArgs: 1},
+		Reads:  []Access{{Loc: MemLoc(0x400000, 12), Bytes: []byte("_AVIRA_2109")}},
+		Writes: []Access{{Loc: RegLoc(isa.EAX), Value: 0}},
+		APISeq: 0,
+	}}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Program != tr.Program || len(got.Calls) != len(tr.Calls) ||
+		got.Exit != tr.Exit || got.StepCount != tr.StepCount {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Calls[0].Identifier != "_AVIRA_2109" {
+		t.Errorf("identifier lost: %+v", got.Calls[0])
+	}
+	if len(got.Steps) != 1 || got.Steps[0].Instr.API != "OpenMutexA" {
+		t.Errorf("steps lost: %+v", got.Steps)
+	}
+	if string(got.Steps[0].Reads[0].Bytes) != "_AVIRA_2109" {
+		t.Errorf("access bytes lost")
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{nope")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestLocOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Loc
+		want bool
+	}{
+		{RegLoc(isa.EAX), RegLoc(isa.EAX), true},
+		{RegLoc(isa.EAX), RegLoc(isa.EBX), false},
+		{RegLoc(isa.EAX), FlagsLoc(), false},
+		{FlagsLoc(), FlagsLoc(), true},
+		{MemLoc(100, 4), MemLoc(102, 4), true},
+		{MemLoc(100, 4), MemLoc(104, 4), false},
+		{MemLoc(104, 4), MemLoc(100, 4), false},
+		{MemLoc(100, 8), MemLoc(102, 2), true},
+		{MemLoc(100, 4), RegLoc(isa.EAX), false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Overlaps(tc.b); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		// Overlap is symmetric.
+		if got := tc.b.Overlaps(tc.a); got != tc.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v (symmetry)", tc.b, tc.a, got, tc.want)
+		}
+	}
+}
+
+func TestLocString(t *testing.T) {
+	if got := RegLoc(isa.ECX).String(); got != "ecx" {
+		t.Errorf("RegLoc string = %q", got)
+	}
+	if got := FlagsLoc().String(); got != "flags" {
+		t.Errorf("FlagsLoc string = %q", got)
+	}
+	if got := MemLoc(0x10, 4).String(); got != "[0x10..0x14]" {
+		t.Errorf("MemLoc string = %q", got)
+	}
+}

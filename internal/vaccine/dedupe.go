@@ -1,0 +1,87 @@
+package vaccine
+
+import (
+	"sort"
+	"strings"
+
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+)
+
+// Dedupe merges vaccines from many samples that protect the same
+// resource, for fleet deployment: a corpus-wide analysis produces one
+// `!VoqA.I4` vaccine per PoisonIvy-like sample, but an end host needs it
+// installed once. Vaccines merge when they share resource kind,
+// identifier (or pattern), and polarity; the merged vaccine keeps the
+// strongest effect, the union of effects, and lists every contributing
+// sample in Sample (comma-separated). Output order is deterministic
+// (resource kind, then identifier).
+func Dedupe(vaccines []Vaccine) []Vaccine {
+	type key struct {
+		kind     string
+		ident    string
+		polarity Polarity
+	}
+	merged := make(map[key]*Vaccine)
+	var order []key
+	for i := range vaccines {
+		v := vaccines[i]
+		ident := v.Identifier
+		if v.Class == determinism.PartialStatic {
+			ident = v.Pattern
+		}
+		k := key{kind: v.Resource.String(), ident: strings.ToLower(ident), polarity: v.Polarity}
+		prev, ok := merged[k]
+		if !ok {
+			cp := v
+			cp.Effects = append([]impact.Effect(nil), v.Effects...)
+			merged[k] = &cp
+			order = append(order, k)
+			continue
+		}
+		// Merge: strongest (lowest-enum) effect wins; effects union;
+		// samples accumulate.
+		if v.Effect < prev.Effect {
+			prev.Effect = v.Effect
+		}
+		for _, e := range v.Effects {
+			found := false
+			for _, x := range prev.Effects {
+				if x == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				prev.Effects = append(prev.Effects, e)
+			}
+		}
+		if !strings.Contains(","+prev.Sample+",", ","+v.Sample+",") {
+			prev.Sample += "," + v.Sample
+		}
+		// A daemon-delivered duplicate upgrades the delivery (the daemon
+		// can serve direct-injection vaccines too, not vice versa).
+		if v.Delivery == VaccineDaemon {
+			prev.Delivery = VaccineDaemon
+		}
+		if prev.Slice == nil {
+			prev.Slice = v.Slice
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].kind != order[j].kind {
+			return order[i].kind < order[j].kind
+		}
+		if order[i].ident != order[j].ident {
+			return order[i].ident < order[j].ident
+		}
+		return order[i].polarity < order[j].polarity
+	})
+	out := make([]Vaccine, 0, len(order))
+	for _, k := range order {
+		v := *merged[k]
+		sort.Slice(v.Effects, func(i, j int) bool { return v.Effects[i] < v.Effects[j] })
+		out = append(out, v)
+	}
+	return out
+}

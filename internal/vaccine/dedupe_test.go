@@ -1,0 +1,106 @@
+package vaccine
+
+import (
+	"testing"
+
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+	"autovac/internal/winenv"
+)
+
+func mk(id, sample, ident string, effect impact.Effect) Vaccine {
+	return Vaccine{
+		ID: id, Sample: sample,
+		Resource: winenv.KindMutex, Identifier: ident,
+		Class: determinism.Static, Op: "open", API: "OpenMutexA",
+		Effect: effect, Effects: []impact.Effect{effect},
+		Polarity: SimulatePresence, Delivery: DirectInjection,
+	}
+}
+
+func TestDedupeMergesSameResource(t *testing.T) {
+	in := []Vaccine{
+		mk("a/mutex/0", "sample-a", "!VoqA.I4", impact.TypeIII),
+		mk("b/mutex/0", "sample-b", "!voqa.i4", impact.Full), // case-insensitive merge
+		mk("c/mutex/0", "sample-c", "OTHER", impact.Full),
+	}
+	out := Dedupe(in)
+	if len(out) != 2 {
+		t.Fatalf("deduped to %d, want 2", len(out))
+	}
+	// Deterministic order: identifiers sorted.
+	if out[0].Identifier != "!VoqA.I4" || out[1].Identifier != "OTHER" {
+		t.Errorf("order: %q, %q", out[0].Identifier, out[1].Identifier)
+	}
+	merged := out[0]
+	if merged.Effect != impact.Full {
+		t.Errorf("merged effect = %v, want strongest (Full)", merged.Effect)
+	}
+	if len(merged.Effects) != 2 {
+		t.Errorf("merged effects = %v", merged.Effects)
+	}
+	if merged.Sample != "sample-a,sample-b" {
+		t.Errorf("merged samples = %q", merged.Sample)
+	}
+}
+
+func TestDedupeKeepsDistinctPolarity(t *testing.T) {
+	a := mk("a/mutex/0", "s1", "X", impact.Full)
+	b := mk("b/mutex/0", "s2", "X", impact.Full)
+	b.Polarity = BlockAccess
+	out := Dedupe([]Vaccine{a, b})
+	if len(out) != 2 {
+		t.Fatalf("opposite polarities merged: %d", len(out))
+	}
+}
+
+func TestDedupePartialStaticByPattern(t *testing.T) {
+	p1 := mk("a/mutex/0", "s1", "", impact.Full)
+	p1.Class = determinism.PartialStatic
+	p1.Pattern = "WORMX-*"
+	p1.Delivery = VaccineDaemon
+	p2 := p1
+	p2.ID = "b/mutex/0"
+	p2.Sample = "s2"
+	out := Dedupe([]Vaccine{p1, p2})
+	if len(out) != 1 {
+		t.Fatalf("patterns not merged: %d", len(out))
+	}
+	if out[0].Sample != "s1,s2" {
+		t.Errorf("samples = %q", out[0].Sample)
+	}
+}
+
+func TestDedupeDaemonDeliveryWins(t *testing.T) {
+	a := mk("a/mutex/0", "s1", "X", impact.Full)
+	b := mk("b/mutex/0", "s2", "X", impact.Full)
+	b.Delivery = VaccineDaemon
+	out := Dedupe([]Vaccine{a, b})
+	if len(out) != 1 || out[0].Delivery != VaccineDaemon {
+		t.Errorf("delivery = %v", out[0].Delivery)
+	}
+}
+
+func TestDedupeIdempotent(t *testing.T) {
+	in := []Vaccine{
+		mk("a/mutex/0", "s1", "A", impact.Full),
+		mk("b/mutex/0", "s2", "A", impact.TypeII),
+		mk("c/mutex/0", "s3", "B", impact.TypeIII),
+	}
+	once := Dedupe(in)
+	twice := Dedupe(once)
+	if len(once) != len(twice) {
+		t.Fatalf("not idempotent: %d vs %d", len(once), len(twice))
+	}
+	for i := range once {
+		if once[i].Identifier != twice[i].Identifier || once[i].Effect != twice[i].Effect {
+			t.Errorf("entry %d changed on second pass", i)
+		}
+	}
+}
+
+func TestDedupeEmpty(t *testing.T) {
+	if out := Dedupe(nil); len(out) != 0 {
+		t.Errorf("Dedupe(nil) = %v", out)
+	}
+}

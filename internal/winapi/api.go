@@ -1,0 +1,255 @@
+// Package winapi defines the labelled Windows-style API surface the
+// synthetic programs call and AUTOVAC hooks. Each API carries a Label
+// that encodes what the paper's API-labelling study (§III-A, Table I)
+// records: which resource namespace it touches, which argument is the
+// resource identifier (directly or through the handle map), whether the
+// taint source is the return value or an out-argument, and the concrete
+// success/failure conventions (EAX value, GetLastError code).
+package winapi
+
+import (
+	"fmt"
+
+	"autovac/internal/taint"
+	"autovac/internal/winenv"
+)
+
+// TaintTarget says where a labelled API's taint label lands, mirroring
+// the paper's two API classes ("Tainting the return value" vs "Tainting
+// the argument", §III-A).
+type TaintTarget int
+
+// Taint targets.
+const (
+	// TaintNone marks APIs that are not taint sources.
+	TaintNone TaintTarget = iota
+	// TaintReturn taints the value returned in EAX (OpenMutex, ...).
+	TaintReturn
+	// TaintArg taints the out-argument that receives the handle
+	// (RegOpenKeyEx stores the opened key in its out parameter).
+	TaintArg
+)
+
+// SourceClass classifies an API for determinism analysis (§IV-C):
+// whether data it produces is deterministic per host or random.
+type SourceClass int
+
+// Source classes.
+const (
+	// ClassNone marks APIs that produce no identifier-relevant data.
+	ClassNone SourceClass = iota
+	// ClassSemantic marks APIs whose output is a deterministic host
+	// invariant (GetComputerName, GetVolumeInformation, gethostname).
+	// Identifiers derived from them are algorithm-deterministic.
+	ClassSemantic
+	// ClassRandom marks APIs whose output is non-deterministic
+	// (GetTickCount, GetTempFileName, rand). Identifiers derived from
+	// them are non-reproducible and discarded.
+	ClassRandom
+)
+
+// String names the class.
+func (c SourceClass) String() string {
+	switch c {
+	case ClassSemantic:
+		return "semantic"
+	case ClassRandom:
+		return "random"
+	default:
+		return "none"
+	}
+}
+
+// Label is the per-API record the analysis consumes.
+type Label struct {
+	// Resource is the namespace this API touches (KindInvalid if none).
+	Resource winenv.ResourceKind
+	// Op is the resource operation this API performs.
+	Op winenv.Op
+	// IdentifierArg is the index of the argument holding the resource
+	// identifier (-1 if none).
+	IdentifierArg int
+	// IdentifierViaHandle resolves the identifier through the handle
+	// map instead of reading a string: the argument at IdentifierArg is
+	// an open handle (Table I's ReadFile row: "hFile for Handle Map").
+	IdentifierViaHandle bool
+	// ValueNameArg, when positive, names the argument holding a
+	// sub-value name appended to the handle-resolved identifier
+	// (RegSetValueEx: identifier = "<key>\<value>"). Zero means unset
+	// (argument 0 is always the handle for via-handle APIs).
+	ValueNameArg int
+	// Taint says where the taint label lands.
+	Taint TaintTarget
+	// TaintArgIndex is the out-argument index for TaintArg.
+	TaintArgIndex int
+	// StaticArgs lists argument indices comparable across executions —
+	// the "static parameters" Algorithm 1 aligns on. Handle and buffer
+	// arguments are dynamic and excluded.
+	StaticArgs []int
+	// StrArgs lists argument indices that point to NUL-terminated
+	// strings, resolved into the call log.
+	StrArgs []int
+	// Class is the determinism class of the API's output.
+	Class SourceClass
+	// FailureRet is the EAX value a forced failure produces.
+	FailureRet uint32
+	// FailureErr is the GetLastError value a forced failure produces.
+	FailureErr winenv.ErrorCode
+	// SuccessRet is the EAX value a forced success produces (a fake
+	// but plausible handle/TRUE).
+	SuccessRet uint32
+}
+
+// Arg is an API argument with its taint.
+type Arg struct {
+	Value uint32
+	Taint taint.Set
+}
+
+// ExitKind distinguishes self-termination APIs.
+type ExitKind int
+
+// Exit kinds.
+const (
+	ExitNone ExitKind = iota
+	// ExitProcessKind covers ExitProcess and TerminateProcess(self).
+	ExitProcessKind
+	// ExitThreadKind covers ExitThread.
+	ExitThreadKind
+)
+
+// Outcome is what an API implementation reports back to the emulator.
+type Outcome struct {
+	// Ret is the EAX value.
+	Ret uint32
+	// RetTaint is extra taint for the return value beyond the source
+	// label the emulator applies (usually data-dependent taint, e.g.
+	// lstrcmp's result carries its operands' taint).
+	RetTaint taint.Set
+	// Success is the API-specific success predicate result.
+	Success bool
+	// OpOverride replaces the label's Op when non-zero (CreateFileA
+	// performs open or create depending on its disposition argument).
+	OpOverride winenv.Op
+	// Identifier replaces the label-derived identifier when non-empty
+	// (GetTempFileName generates the identifier instead of taking it).
+	Identifier string
+	// Exit requests termination of the emulated program.
+	Exit ExitKind
+	// ExitCode is the termination code when Exit is set.
+	ExitCode uint32
+}
+
+// Machine is the execution environment an API implementation runs
+// against. The emulator implements it; implementations use it for memory
+// access (with taint), the resource environment, and host facilities.
+//
+// Memory writes performed through Machine during an API implementation
+// are recorded by the emulator into the instruction-level trace, so
+// backward slicing sees API output definitions.
+type Machine interface {
+	// Env returns the resource environment.
+	Env() *winenv.Env
+	// Principal returns the executing program's name.
+	Principal() string
+
+	// ReadCString reads a NUL-terminated string with its taint.
+	ReadCString(addr uint32) (string, taint.Set, error)
+	// WriteCString writes s plus a NUL terminator with uniform taint.
+	WriteCString(addr uint32, s string, t taint.Set) error
+	// ReadWord reads a 32-bit little-endian word with its taint.
+	ReadWord(addr uint32) (uint32, taint.Set, error)
+	// WriteWord writes a 32-bit little-endian word with uniform taint.
+	WriteWord(addr uint32, v uint32, t taint.Set) error
+	// ReadBytes reads n bytes with their combined taint.
+	ReadBytes(addr, n uint32) ([]byte, taint.Set, error)
+	// WriteBytes writes bytes with uniform taint.
+	WriteBytes(addr uint32, b []byte, t taint.Set) error
+
+	// Rand returns the next value from the run's deterministic PRNG
+	// (models GetTickCount/rand-style non-determinism reproducibly).
+	Rand() uint32
+	// SelfPath returns the emulated program's own image path
+	// (GetModuleFileName(NULL)).
+	SelfPath() string
+}
+
+// Impl is an API implementation. src is the taint label allocated for
+// this call occurrence (empty set for unlabelled APIs); implementations
+// apply it to the output data they write.
+type Impl func(m Machine, args []Arg, src taint.Set) (Outcome, error)
+
+// Variadic marks a Spec accepting any argument count.
+const Variadic = -1
+
+// Spec is one registered API.
+type Spec struct {
+	// Name is the API's name as called by CALLAPI.
+	Name string
+	// NArgs is the expected argument count, or Variadic.
+	NArgs int
+	// Label carries the analysis metadata.
+	Label Label
+	// Impl is the behaviour.
+	Impl Impl
+}
+
+// IsResource reports whether the API touches a labelled resource.
+func (s *Spec) IsResource() bool { return s.Label.Resource.Valid() }
+
+// Registry is the API set available to emulated programs.
+type Registry struct {
+	specs map[string]*Spec
+	names []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{specs: make(map[string]*Spec)}
+}
+
+// Register adds a spec. It panics on duplicate names: the API set is a
+// static table assembled at construction time, so a duplicate is a
+// programming error.
+func (r *Registry) Register(s Spec) {
+	if _, dup := r.specs[s.Name]; dup {
+		panic(fmt.Sprintf("winapi: duplicate API %q", s.Name))
+	}
+	cp := s
+	r.specs[s.Name] = &cp
+	r.names = append(r.names, s.Name)
+}
+
+// Lookup returns the spec for an API name.
+func (r *Registry) Lookup(name string) (*Spec, bool) {
+	s, ok := r.specs[name]
+	return s, ok
+}
+
+// Names returns every registered API name in registration order.
+func (r *Registry) Names() []string {
+	return append([]string(nil), r.names...)
+}
+
+// Len returns the number of registered APIs.
+func (r *Registry) Len() int { return len(r.specs) }
+
+// ResourceAPIs returns the names of APIs that touch labelled resources —
+// the hook set Phase-I instruments (the paper hooks 89 such calls).
+func (r *Registry) ResourceAPIs() []string {
+	var out []string
+	for _, n := range r.names {
+		if r.specs[n].IsResource() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// boolRet converts a success flag to TRUE/FALSE.
+func boolRet(ok bool) uint32 {
+	if ok {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,245 @@
+package winapi
+
+import (
+	"strings"
+	"testing"
+
+	"autovac/internal/winenv"
+)
+
+func TestClip(t *testing.T) {
+	cases := []struct {
+		s    string
+		size uint32
+		want string
+	}{
+		{"hello", 64, "hello"},
+		{"hello", 6, "hello"},
+		{"hello", 5, "hell"},
+		{"hello", 1, ""},
+		{"hello", 0, ""},
+		{"", 8, ""},
+	}
+	for _, tc := range cases {
+		if got := clip(tc.s, tc.size); got != tc.want {
+			t.Errorf("clip(%q, %d) = %q, want %q", tc.s, tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestGetUserNameAndHostname(t *testing.T) {
+	r := Standard()
+	m := newFakeMachine()
+	out, _ := m.call(r, "GetUserNameA", 0x1000, 32)
+	if !out.Success {
+		t.Fatal("GetUserName failed")
+	}
+	name, _, _ := m.ReadCString(0x1000)
+	if name != "alice" {
+		t.Errorf("user = %q", name)
+	}
+	out, _ = m.call(r, "gethostname", 0x1100, 32)
+	if !out.Success {
+		t.Fatal("gethostname failed")
+	}
+	host, _, _ := m.ReadCString(0x1100)
+	if host != "win-autovac01" {
+		t.Errorf("host = %q (want lower-case computer name)", host)
+	}
+}
+
+func TestGetSystemDirAndTempPath(t *testing.T) {
+	r := Standard()
+	m := newFakeMachine()
+	m.call(r, "GetSystemDirectoryA", 0x1000, 64)
+	dir, _, _ := m.ReadCString(0x1000)
+	if dir != `C:\Windows\system32` {
+		t.Errorf("sysdir = %q", dir)
+	}
+	m.call(r, "GetTempPathA", 64, 0x1100)
+	tmp, _, _ := m.ReadCString(0x1100)
+	if tmp != `C:\Temp\` {
+		t.Errorf("temp = %q", tmp)
+	}
+	// Truncation via small buffers.
+	m.call(r, "GetSystemDirectoryA", 0x1200, 4)
+	short, _, _ := m.ReadCString(0x1200)
+	if len(short) != 3 {
+		t.Errorf("truncated sysdir = %q", short)
+	}
+}
+
+func TestQueryPerformanceCounterAndRand(t *testing.T) {
+	r := Standard()
+	m := newFakeMachine()
+	out, _ := m.call(r, "QueryPerformanceCounter", 0x1000)
+	if !out.Success {
+		t.Fatal("QPC failed")
+	}
+	v1, _, _ := m.ReadWord(0x1000)
+	m.call(r, "QueryPerformanceCounter", 0x1000)
+	v2, _, _ := m.ReadWord(0x1000)
+	if v1 == v2 {
+		t.Error("QPC not advancing")
+	}
+	out, _ = m.call(r, "rand")
+	if out.Ret > 0x7FFF {
+		t.Errorf("rand = %#x out of C range", out.Ret)
+	}
+	for _, api := range []string{"GetTickCount", "QueryPerformanceCounter", "rand"} {
+		spec, _ := r.Lookup(api)
+		if spec.Label.Class != ClassRandom {
+			t.Errorf("%s not ClassRandom", api)
+		}
+	}
+	for _, api := range []string{"GetComputerNameA", "GetUserNameA", "GetVolumeInformationA", "gethostname"} {
+		spec, _ := r.Lookup(api)
+		if spec.Label.Class != ClassSemantic {
+			t.Errorf("%s not ClassSemantic", api)
+		}
+	}
+}
+
+func TestReleaseMutexAndSleep(t *testing.T) {
+	r := Standard()
+	m := newFakeMachine()
+	if out, _ := m.call(r, "ReleaseMutex", 4); !out.Success {
+		t.Error("ReleaseMutex failed")
+	}
+	if out, _ := m.call(r, "Sleep", 100); !out.Success {
+		t.Error("Sleep failed")
+	}
+}
+
+func TestTerminateProcessOnVictim(t *testing.T) {
+	r := Standard()
+	m := newFakeMachine()
+	victim := m.putString(0x1000, "explorer.exe")
+	out, _ := m.call(r, "OpenProcessByNameA", victim)
+	h := out.Ret
+	out, _ = m.call(r, "TerminateProcess", h, 0)
+	if !out.Success || out.Exit != ExitNone {
+		t.Fatalf("terminate victim: %+v", out)
+	}
+	if m.env.Exists(winenv.KindProcess, "explorer.exe") {
+		t.Error("victim process survived")
+	}
+	// Terminating an invalid handle fails.
+	out, _ = m.call(r, "TerminateProcess", 0xBEEF, 0)
+	if out.Success {
+		t.Error("terminate with bad handle succeeded")
+	}
+}
+
+func TestLoadLibraryOfDroppedDLL(t *testing.T) {
+	r := Standard()
+	m := newFakeMachine()
+	path := m.putString(0x1000, `C:\Windows\system32\payload.dll`)
+	// Missing both as module and file: fails.
+	out, _ := m.call(r, "LoadLibraryA", path)
+	if out.Success {
+		t.Fatal("load of missing dll succeeded")
+	}
+	// Drop the file, then LoadLibrary registers and loads it.
+	m.call(r, "CreateFileA", path, 0, CreateNew)
+	out, _ = m.call(r, "LoadLibraryA", path)
+	if !out.Success {
+		t.Fatalf("load of dropped dll failed: %+v", out)
+	}
+	if !m.env.Exists(winenv.KindLibrary, "payload.dll") {
+		t.Error("dropped dll not registered as module")
+	}
+}
+
+func TestSnprintfZeroSizeBuffer(t *testing.T) {
+	r := Standard()
+	m := newFakeMachine()
+	f := m.putString(0x1000, "abc%s")
+	arg := m.putString(0x1100, "def")
+	out, err := m.call(r, "_snprintf", 0x2000, 0, f, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Size 0 means unlimited in our convention's guard (args[1]==0 skips
+	// the limit); the full string is written.
+	got, _, _ := m.ReadCString(0x2000)
+	if got != "abcdef" || out.Ret != 6 {
+		t.Errorf("result = %q ret=%d", got, out.Ret)
+	}
+}
+
+func TestRegistryWhitelistedNames(t *testing.T) {
+	// Sanity on spec metadata: every resource-labelled API declares a
+	// failure convention distinct from its success value, so forced
+	// failures are observable.
+	r := Standard()
+	for _, name := range r.ResourceAPIs() {
+		spec, _ := r.Lookup(name)
+		l := spec.Label
+		if l.FailureRet == l.SuccessRet {
+			t.Errorf("%s: failure and success returns identical (%#x)", name, l.FailureRet)
+		}
+		if !l.Op.Valid() {
+			t.Errorf("%s: invalid op", name)
+		}
+	}
+}
+
+func TestNetworkAPIsUnlabelled(t *testing.T) {
+	// Network APIs must NOT be resource-labelled: a C&C host is not a
+	// local vaccine resource (Type-II immunization is detected from
+	// their disappearance, not from mutating them).
+	r := Standard()
+	for _, name := range NetworkAPIs() {
+		spec, ok := r.Lookup(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		if spec.IsResource() {
+			t.Errorf("%s is resource-labelled", name)
+		}
+	}
+}
+
+func TestCmpRet(t *testing.T) {
+	if cmpRet(-5) != 0xFFFFFFFF || cmpRet(3) != 1 || cmpRet(0) != 0 {
+		t.Error("cmpRet wrong")
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	cases := map[string]string{
+		`C:\a\b\c.exe`: "c.exe",
+		`c.exe`:        "c.exe",
+		`C:/mixed/x`:   "x",
+		``:             "",
+	}
+	for in, want := range cases {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHash32Stable(t *testing.T) {
+	if hash32("abc") != hash32("abc") {
+		t.Error("hash32 unstable")
+	}
+	if hash32("abc") == hash32("abd") {
+		t.Error("hash32 collision on trivial inputs")
+	}
+}
+
+func TestSpecNamesUnique(t *testing.T) {
+	r := Standard()
+	seen := map[string]bool{}
+	for _, n := range r.Names() {
+		if seen[n] {
+			t.Errorf("duplicate %s", n)
+		}
+		seen[n] = true
+		if strings.TrimSpace(n) == "" {
+			t.Error("empty API name")
+		}
+	}
+}

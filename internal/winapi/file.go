@@ -1,0 +1,298 @@
+package winapi
+
+import (
+	"fmt"
+
+	"autovac/internal/taint"
+	"autovac/internal/winenv"
+)
+
+// File-creation disposition constants for CreateFileA, matching Win32.
+const (
+	CreateNew    = 1 // fail if the file exists
+	CreateAlways = 2 // create or truncate
+	OpenExisting = 3 // fail if the file does not exist
+)
+
+// InvalidHandleValue is CreateFileA's failure return.
+const InvalidHandleValue uint32 = 0xFFFFFFFF
+
+// InvalidFileAttributes is GetFileAttributesA's failure return.
+const InvalidFileAttributes uint32 = 0xFFFFFFFF
+
+// fakeSuccessHandle is the plausible handle value a forced-success
+// mutation returns.
+const fakeSuccessHandle uint32 = 0x00DD0004
+
+// doResource performs a resource operation on the machine's environment
+// and folds the winenv result into handle/bool conventions.
+func doResource(m Machine, kind winenv.ResourceKind, op winenv.Op, name string, data []byte) winenv.Result {
+	return m.Env().Do(winenv.Request{
+		Kind: kind, Op: op, Name: name, Principal: m.Principal(), Data: data,
+	})
+}
+
+func registerFile(r *Registry) {
+	r.Register(Spec{
+		Name: "CreateFileA", NArgs: 3,
+		Label: Label{
+			Resource: winenv.KindFile, Op: winenv.OpCreate,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0, 1, 2}, StrArgs: []int{0},
+			FailureRet: InvalidHandleValue, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			disposition := args[2].Value
+			var res winenv.Result
+			op := winenv.OpCreate
+			switch disposition {
+			case OpenExisting:
+				op = winenv.OpOpen
+				res = doResource(m, winenv.KindFile, winenv.OpOpen, name, nil)
+			case CreateAlways:
+				if m.Env().Exists(winenv.KindFile, name) {
+					// Truncate-open of an existing file.
+					res = doResource(m, winenv.KindFile, winenv.OpWrite, name, nil)
+					if res.OK {
+						res = doResource(m, winenv.KindFile, winenv.OpOpen, name, nil)
+					}
+				} else {
+					res = doResource(m, winenv.KindFile, winenv.OpCreate, name, nil)
+				}
+			default: // CreateNew
+				res = doResource(m, winenv.KindFile, winenv.OpCreate, name, nil)
+			}
+			if !res.OK {
+				return Outcome{Ret: InvalidHandleValue, OpOverride: op}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true, OpOverride: op}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "ReadFile", NArgs: 3,
+		Label: Label{
+			Resource: winenv.KindFile, Op: winenv.OpRead,
+			IdentifierArg: 0, IdentifierViaHandle: true, Taint: TaintReturn,
+			FailureRet: 0, FailureErr: winenv.ErrReadFault,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindFile {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: 0}, nil
+			}
+			res := doResource(m, winenv.KindFile, winenv.OpRead, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			n := args[2].Value
+			if uint32(len(res.Data)) < n {
+				n = uint32(len(res.Data))
+			}
+			if n > 0 {
+				if err := m.WriteBytes(args[1].Value, res.Data[:n], src); err != nil {
+					return Outcome{}, err
+				}
+			}
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "WriteFile", NArgs: 3,
+		Label: Label{
+			Resource: winenv.KindFile, Op: winenv.OpWrite,
+			IdentifierArg: 0, IdentifierViaHandle: true, Taint: TaintReturn,
+			FailureRet: 0, FailureErr: winenv.ErrWriteFault,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindFile {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: 0}, nil
+			}
+			data, _, err := m.ReadBytes(args[1].Value, args[2].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindFile, winenv.OpWrite, name, data)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "DeleteFileA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindFile, Op: winenv.OpDelete,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindFile, winenv.OpDelete, name, nil)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetFileAttributesA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindFile, Op: winenv.OpQuery,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: InvalidFileAttributes, FailureErr: winenv.ErrFileNotFound,
+			SuccessRet: 0x20, // FILE_ATTRIBUTE_ARCHIVE
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindFile, winenv.OpQuery, name, nil)
+			if !res.OK {
+				return Outcome{Ret: InvalidFileAttributes}, nil
+			}
+			return Outcome{Ret: 0x20, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "CopyFileA", NArgs: 3,
+		Label: Label{
+			Resource: winenv.KindFile, Op: winenv.OpCreate,
+			IdentifierArg: 1, Taint: TaintReturn,
+			StaticArgs: []int{0, 1, 2}, StrArgs: []int{0, 1},
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			srcName, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			dstName, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			failIfExists := args[2].Value != 0
+			var data []byte
+			if srcRes := m.Env().Lookup(winenv.KindFile, srcName); srcRes != nil {
+				data = append([]byte(nil), srcRes.Data...)
+			}
+			if m.Env().Exists(winenv.KindFile, dstName) {
+				if failIfExists {
+					m.Env().SetLastError(winenv.ErrAlreadyExists)
+					return Outcome{Ret: 0}, nil
+				}
+				res := doResource(m, winenv.KindFile, winenv.OpWrite, dstName, data)
+				return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+			}
+			res := doResource(m, winenv.KindFile, winenv.OpCreate, dstName, data)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "CloseHandle", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			ok := m.Env().CloseHandle(winenv.Handle(args[0].Value))
+			return Outcome{Ret: boolRet(ok), Success: ok}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetModuleFileNameA", NArgs: 3,
+		Label: Label{IdentifierArg: -1, Class: ClassSemantic},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			// hModule==0 returns the running image's own path.
+			path := m.SelfPath()
+			if args[0].Value != 0 {
+				if _, name, ok := m.Env().HandleName(winenv.Handle(args[0].Value)); ok {
+					path = `C:\Windows\system32\` + name
+				}
+			}
+			if err := m.WriteCString(args[1].Value, clip(path, args[2].Value), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: uint32(len(path)), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetSystemDirectoryA", NArgs: 2,
+		Label: Label{IdentifierArg: -1, Class: ClassSemantic},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			const dir = `C:\Windows\system32`
+			if err := m.WriteCString(args[0].Value, clip(dir, args[1].Value), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: uint32(len(dir)), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetTempPathA", NArgs: 2,
+		Label: Label{IdentifierArg: -1, Class: ClassSemantic},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			const dir = `C:\Temp\`
+			if err := m.WriteCString(args[1].Value, clip(dir, args[0].Value), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: uint32(len(dir)), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetTempFileNameA", NArgs: 2,
+		Label: Label{
+			Resource: winenv.KindFile, Op: winenv.OpCreate,
+			IdentifierArg: -1, Taint: TaintReturn,
+			StrArgs: []int{0}, Class: ClassRandom,
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			prefix, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			name := fmt.Sprintf(`C:\Temp\%s%04x.tmp`, prefix, m.Rand()&0xFFFF)
+			res := doResource(m, winenv.KindFile, winenv.OpCreate, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0, Identifier: name}, nil
+			}
+			if err := m.WriteCString(args[1].Value, name, src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true, Identifier: name}, nil
+		},
+	})
+}
+
+// clip truncates s to fit a buffer of the given size (leaving room for
+// the NUL terminator).
+func clip(s string, size uint32) string {
+	if size == 0 {
+		return ""
+	}
+	if uint32(len(s)) >= size {
+		return s[:size-1]
+	}
+	return s
+}

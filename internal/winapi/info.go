@@ -1,0 +1,354 @@
+package winapi
+
+import (
+	"fmt"
+	"strings"
+
+	"autovac/internal/taint"
+)
+
+// registerInfo adds the host-information and time/randomness APIs that
+// determinism analysis (§IV-C) classifies identifier roots by:
+// semantic-known APIs (computer name, volume serial) mark
+// algorithm-deterministic identifiers; random APIs (tick count,
+// performance counter) mark non-reproducible ones.
+func registerInfo(r *Registry) {
+	r.Register(Spec{
+		Name: "GetComputerNameA", NArgs: 2,
+		Label: Label{IdentifierArg: -1, Class: ClassSemantic},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name := m.Env().Identity().ComputerName
+			if err := m.WriteCString(args[0].Value, clip(name, args[1].Value), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetUserNameA", NArgs: 2,
+		Label: Label{IdentifierArg: -1, Class: ClassSemantic},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name := m.Env().Identity().UserName
+			if err := m.WriteCString(args[0].Value, clip(name, args[1].Value), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetVolumeInformationA", NArgs: 1,
+		Label: Label{IdentifierArg: -1, Class: ClassSemantic},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			serial := m.Env().Identity().VolumeSerial
+			if err := m.WriteWord(args[0].Value, serial, src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "gethostname", NArgs: 2,
+		Label: Label{IdentifierArg: -1, Class: ClassSemantic},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name := strings.ToLower(m.Env().Identity().ComputerName)
+			if err := m.WriteCString(args[0].Value, clip(name, args[1].Value), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: 0, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetTickCount", NArgs: 0,
+		Label: Label{IdentifierArg: -1, Class: ClassRandom},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: m.Rand(), RetTaint: src, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "QueryPerformanceCounter", NArgs: 1,
+		Label: Label{IdentifierArg: -1, Class: ClassRandom},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			if err := m.WriteWord(args[0].Value, m.Rand(), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "rand", NArgs: 0,
+		Label: Label{IdentifierArg: -1, Class: ClassRandom},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: m.Rand() & 0x7FFF, RetTaint: src, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetLastError", NArgs: 0,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			// The result carries the taint of the call that set the
+			// error, so error-checking branches count as tainted
+			// predicates; the emulator supplies that taint via RetTaint
+			// wiring (see emu's lastErrTaint).
+			return Outcome{Ret: uint32(m.Env().LastError()), Success: true}, nil
+		},
+	})
+}
+
+// registerStrings adds the C-runtime string helpers malware composes
+// identifiers with. They carry no label; their role is taint
+// propagation through memory (the "data propagation" of §III-B) and,
+// in the instruction trace, the def-use links backward slicing follows.
+func registerStrings(r *Registry) {
+	r.Register(Spec{
+		Name: "lstrcmpA", NArgs: 2,
+		Label: Label{IdentifierArg: -1, StrArgs: []int{0, 1}},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			a, ta, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			b, tb, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: cmpRet(strings.Compare(a, b)), RetTaint: ta.Union(tb), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "lstrcmpiA", NArgs: 2,
+		Label: Label{IdentifierArg: -1, StrArgs: []int{0, 1}},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			a, ta, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			b, tb, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			cmp := strings.Compare(strings.ToLower(a), strings.ToLower(b))
+			return Outcome{Ret: cmpRet(cmp), RetTaint: ta.Union(tb), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "lstrcpyA", NArgs: 2,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			s, t, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if err := m.WriteCString(args[0].Value, s, t); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: args[0].Value, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "lstrcatA", NArgs: 2,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			dst, td, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			s, ts, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			// Append: write only the suffix (plus NUL) so the existing
+			// prefix bytes keep their own per-byte provenance.
+			if err := m.WriteCString(args[0].Value+uint32(len(dst)), s, ts); err != nil {
+				return Outcome{}, err
+			}
+			_ = td
+			return Outcome{Ret: args[0].Value, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "lstrlenA", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			s, t, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: uint32(len(s)), RetTaint: t, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "_snprintf", NArgs: Variadic,
+		Label: Label{IdentifierArg: -1},
+		Impl:  snprintfImpl(true),
+	})
+
+	r.Register(Spec{
+		Name: "wsprintfA", NArgs: Variadic,
+		Label: Label{IdentifierArg: -1},
+		Impl:  snprintfImpl(false),
+	})
+
+	r.Register(Spec{
+		Name: "_itoa", NArgs: 3,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			var s string
+			switch args[2].Value {
+			case 16:
+				s = fmt.Sprintf("%x", args[0].Value)
+			default:
+				s = fmt.Sprintf("%d", args[0].Value)
+			}
+			if err := m.WriteCString(args[1].Value, s, args[0].Taint); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: args[1].Value, Success: true}, nil
+		},
+	})
+}
+
+// snprintfImpl builds the formatted-print implementation. When sized is
+// true the signature is (buf, size, fmt, args...); otherwise
+// (buf, fmt, args...). Output is written segment by segment — literal
+// runs carry the format string's taint, conversion runs carry the
+// consumed argument's taint — preserving per-byte provenance for the
+// partial-static identifier classification (§IV-C).
+func snprintfImpl(sized bool) Impl {
+	return func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+		base := 2
+		if !sized {
+			base = 1
+		}
+		if len(args) < base+1 {
+			return Outcome{}, fmt.Errorf("winapi: snprintf: need at least %d args, got %d", base+1, len(args))
+		}
+		buf := args[0].Value
+		format, tfmt, err := m.ReadCString(args[base].Value)
+		if err != nil {
+			return Outcome{}, err
+		}
+		varargs := args[base+1:]
+
+		type segment struct {
+			text  string
+			taint taint.Set
+		}
+		var segs []segment
+		var lit []byte
+		flushLit := func() {
+			if len(lit) > 0 {
+				segs = append(segs, segment{string(lit), tfmt})
+				lit = nil
+			}
+		}
+		next := 0
+		takeArg := func() (Arg, error) {
+			if next >= len(varargs) {
+				return Arg{}, fmt.Errorf("winapi: snprintf: format %q consumes more than %d args", format, len(varargs))
+			}
+			a := varargs[next]
+			next++
+			return a, nil
+		}
+		for i := 0; i < len(format); i++ {
+			c := format[i]
+			if c != '%' || i+1 >= len(format) {
+				lit = append(lit, c)
+				continue
+			}
+			i++
+			verb := format[i]
+			switch verb {
+			case '%':
+				lit = append(lit, '%')
+			case 's':
+				a, err := takeArg()
+				if err != nil {
+					return Outcome{}, err
+				}
+				s, ts, err := m.ReadCString(a.Value)
+				if err != nil {
+					return Outcome{}, err
+				}
+				flushLit()
+				segs = append(segs, segment{s, ts.Union(a.Taint)})
+			case 'd', 'u':
+				a, err := takeArg()
+				if err != nil {
+					return Outcome{}, err
+				}
+				flushLit()
+				segs = append(segs, segment{fmt.Sprintf("%d", a.Value), a.Taint})
+			case 'x', 'X':
+				a, err := takeArg()
+				if err != nil {
+					return Outcome{}, err
+				}
+				flushLit()
+				segs = append(segs, segment{fmt.Sprintf("%x", a.Value), a.Taint})
+			case 'c':
+				a, err := takeArg()
+				if err != nil {
+					return Outcome{}, err
+				}
+				flushLit()
+				segs = append(segs, segment{string(rune(a.Value & 0xFF)), a.Taint})
+			default:
+				lit = append(lit, '%', verb)
+			}
+		}
+		flushLit()
+
+		// Assemble, honouring the size limit when present.
+		limit := uint32(0xFFFFFFFF)
+		if sized && args[1].Value > 0 {
+			limit = args[1].Value - 1 // room for NUL
+		}
+		total := uint32(0)
+		off := buf
+		for _, seg := range segs {
+			text := seg.text
+			if total+uint32(len(text)) > limit {
+				text = text[:limit-total]
+			}
+			if len(text) > 0 {
+				if err := m.WriteBytes(off, []byte(text), seg.taint); err != nil {
+					return Outcome{}, err
+				}
+				off += uint32(len(text))
+				total += uint32(len(text))
+			}
+			if total >= limit {
+				break
+			}
+		}
+		if err := m.WriteBytes(off, []byte{0}, taint.Set{}); err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Ret: total, Success: true}, nil
+	}
+}
+
+// cmpRet maps a Go comparison to the C convention.
+func cmpRet(c int) uint32 {
+	switch {
+	case c < 0:
+		return 0xFFFFFFFF
+	case c > 0:
+		return 1
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,124 @@
+package winapi
+
+import (
+	"fmt"
+
+	"autovac/internal/taint"
+	"autovac/internal/winenv"
+)
+
+// fakeMachine is a minimal Machine for exercising API implementations
+// without the emulator: a sparse byte memory with per-byte taint, a
+// winenv, and a counting PRNG.
+type fakeMachine struct {
+	env       *winenv.Env
+	mem       map[uint32]byte
+	taint     map[uint32]taint.Set
+	principal string
+	randState uint32
+}
+
+func newFakeMachine() *fakeMachine {
+	return &fakeMachine{
+		env:       winenv.New(winenv.DefaultIdentity()),
+		mem:       make(map[uint32]byte),
+		taint:     make(map[uint32]taint.Set),
+		principal: "test-prog",
+	}
+}
+
+func (m *fakeMachine) Env() *winenv.Env  { return m.env }
+func (m *fakeMachine) Principal() string { return m.principal }
+func (m *fakeMachine) SelfPath() string  { return `C:\samples\test-prog.exe` }
+
+func (m *fakeMachine) Rand() uint32 {
+	m.randState = m.randState*1664525 + 1013904223
+	return m.randState
+}
+
+func (m *fakeMachine) ReadCString(addr uint32) (string, taint.Set, error) {
+	var out []byte
+	var t taint.Set
+	for a := addr; ; a++ {
+		b := m.mem[a]
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+		t = t.Union(m.taint[a])
+		if len(out) > 4096 {
+			return "", taint.Set{}, fmt.Errorf("unterminated string at %#x", addr)
+		}
+	}
+	return string(out), t, nil
+}
+
+func (m *fakeMachine) WriteCString(addr uint32, s string, t taint.Set) error {
+	for i := 0; i < len(s); i++ {
+		m.mem[addr+uint32(i)] = s[i]
+		m.taint[addr+uint32(i)] = t
+	}
+	m.mem[addr+uint32(len(s))] = 0
+	delete(m.taint, addr+uint32(len(s)))
+	return nil
+}
+
+func (m *fakeMachine) ReadWord(addr uint32) (uint32, taint.Set, error) {
+	var v uint32
+	var t taint.Set
+	for i := uint32(0); i < 4; i++ {
+		v |= uint32(m.mem[addr+i]) << (8 * i)
+		t = t.Union(m.taint[addr+i])
+	}
+	return v, t, nil
+}
+
+func (m *fakeMachine) WriteWord(addr uint32, v uint32, t taint.Set) error {
+	for i := uint32(0); i < 4; i++ {
+		m.mem[addr+i] = byte(v >> (8 * i))
+		m.taint[addr+i] = t
+	}
+	return nil
+}
+
+func (m *fakeMachine) ReadBytes(addr, n uint32) ([]byte, taint.Set, error) {
+	out := make([]byte, n)
+	var t taint.Set
+	for i := uint32(0); i < n; i++ {
+		out[i] = m.mem[addr+i]
+		t = t.Union(m.taint[addr+i])
+	}
+	return out, t, nil
+}
+
+func (m *fakeMachine) WriteBytes(addr uint32, b []byte, t taint.Set) error {
+	for i, v := range b {
+		m.mem[addr+uint32(i)] = v
+		m.taint[addr+uint32(i)] = t
+	}
+	return nil
+}
+
+// putString stores a NUL-terminated string and returns its address.
+func (m *fakeMachine) putString(addr uint32, s string) uint32 {
+	if err := m.WriteCString(addr, s, taint.Set{}); err != nil {
+		panic(err)
+	}
+	return addr
+}
+
+// call invokes an API by name with plain (untainted) argument values.
+func (m *fakeMachine) call(reg *Registry, name string, args ...uint32) (Outcome, error) {
+	spec, ok := reg.Lookup(name)
+	if !ok {
+		return Outcome{}, fmt.Errorf("no API %q", name)
+	}
+	if spec.NArgs != Variadic && spec.NArgs != len(args) {
+		return Outcome{}, fmt.Errorf("%s: want %d args, got %d", name, spec.NArgs, len(args))
+	}
+	wrapped := make([]Arg, len(args))
+	for i, v := range args {
+		wrapped[i] = Arg{Value: v}
+	}
+	return spec.Impl(m, wrapped, taint.Set{})
+}

@@ -1,0 +1,159 @@
+package winapi
+
+import (
+	"autovac/internal/taint"
+	"autovac/internal/winenv"
+)
+
+// socketError is the winsock SOCKET_ERROR return (-1).
+const socketError uint32 = 0xFFFFFFFF
+
+// registerNet adds the winsock/WinINet subset. Network APIs carry no
+// resource label (they are not vaccine material — a C&C address is not a
+// local system resource) but their presence in the normal trace and
+// absence in the mutated trace is exactly what the Type-II
+// "Disable Massive Network Behavior" classifier looks for.
+func registerNet(r *Registry) {
+	r.Register(Spec{
+		Name: "gethostbyname", NArgs: 1,
+		Label: Label{IdentifierArg: -1, StrArgs: []int{0}, StaticArgs: []int{0}},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			host, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if _, ok := m.Env().Net().Resolve(m.Principal(), host); !ok {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: 0x30000000 | (hash32(host) & 0x0FFFFFF0), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "socket", NArgs: 0,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			// Socket allocation always succeeds; the connect decides.
+			return Outcome{Ret: 0x7000 + m.Rand()%0x100*4, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "connect", NArgs: 2,
+		Label: Label{IdentifierArg: -1, StrArgs: []int{1}, StaticArgs: []int{1}},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			target, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			if !m.Env().Net().BindConnect(m.Principal(), winenv.Handle(args[0].Value), target) {
+				return Outcome{Ret: socketError}, nil
+			}
+			return Outcome{Ret: 0, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "send", NArgs: 3,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			n := args[2].Value
+			m.Env().Net().RecordSend(m.Principal(), int(n))
+			return Outcome{Ret: n, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "recv", NArgs: 3,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			n := args[2].Value
+			if n > 64 {
+				n = 64
+			}
+			payload := make([]byte, n)
+			for i := range payload {
+				payload[i] = byte(m.Rand())
+			}
+			if n > 0 {
+				if err := m.WriteBytes(args[1].Value, payload, src); err != nil {
+					return Outcome{}, err
+				}
+			}
+			m.Env().Net().RecordRecv(m.Principal(), int(n))
+			return Outcome{Ret: n, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "closesocket", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			m.Env().Net().CloseSocket(winenv.Handle(args[0].Value))
+			return Outcome{Ret: 0, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "InternetOpenA", NArgs: 1,
+		Label: Label{IdentifierArg: -1, StrArgs: []int{0}},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: 0x1E7, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "InternetOpenUrlA", NArgs: 2,
+		Label: Label{IdentifierArg: -1, StrArgs: []int{1}, StaticArgs: []int{1}},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			url, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			h, ok := m.Env().Net().HTTPGet(m.Principal(), url)
+			if !ok {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(h), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "InternetReadFile", NArgs: 3,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			n := args[2].Value
+			if n > 64 {
+				n = 64
+			}
+			payload := make([]byte, n)
+			for i := range payload {
+				payload[i] = byte(m.Rand())
+			}
+			if n > 0 {
+				if err := m.WriteBytes(args[1].Value, payload, src); err != nil {
+					return Outcome{}, err
+				}
+			}
+			m.Env().Net().RecordRecv(m.Principal(), int(n))
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "InternetCloseHandle", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+}
+
+// NetworkAPIs lists the API names the Type-II classifier treats as
+// network behaviour.
+func NetworkAPIs() []string {
+	return []string{
+		"gethostbyname", "socket", "connect", "send", "recv",
+		"InternetOpenA", "InternetOpenUrlA", "InternetReadFile",
+	}
+}

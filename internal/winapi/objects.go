@@ -1,0 +1,249 @@
+package winapi
+
+import (
+	"autovac/internal/taint"
+	"autovac/internal/winenv"
+)
+
+// registerMutex adds the mutex APIs. The paper's Table I uses OpenMutex
+// as the canonical "taint the return value" example: success is a valid
+// handle in EAX; failure is NULL with GetLastError = 0x02.
+func registerMutex(r *Registry) {
+	r.Register(Spec{
+		Name: "CreateMutexA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindMutex, Op: winenv.OpCreate,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindMutex, winenv.OpCreate, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			// Success even when the mutex existed; GetLastError then
+			// reports ERROR_ALREADY_EXISTS (set by winenv).
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "OpenMutexA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindMutex, Op: winenv.OpOpen,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrFileNotFound,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindMutex, winenv.OpOpen, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "ReleaseMutex", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+}
+
+// registerWindow adds the GUI-window APIs (adware's resource class in
+// Table V).
+func registerWindow(r *Registry) {
+	r.Register(Spec{
+		Name: "FindWindowA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindWindow, Op: winenv.OpOpen,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrWindowNotFound,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			class, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindWindow, winenv.OpOpen, class, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "CreateWindowExA", NArgs: 2,
+		Label: Label{
+			Resource: winenv.KindWindow, Op: winenv.OpCreate,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0, 1}, StrArgs: []int{0, 1},
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			class, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			// Creating a window whose class was registered earlier (or
+			// whose name already exists) opens another instance.
+			res := doResource(m, winenv.KindWindow, winenv.OpCreate, class, nil)
+			if !res.OK && res.Err == winenv.ErrAlreadyExists {
+				res = doResource(m, winenv.KindWindow, winenv.OpOpen, class, nil)
+			}
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "RegisterClassA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindWindow, Op: winenv.OpCreate,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrAlreadyExists,
+			SuccessRet: 0xC001,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			class, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindWindow, winenv.OpCreate, class, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: 0xC001, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "ShowWindow", NArgs: 2,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "DestroyWindow", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindWindow {
+				return Outcome{Ret: 0}, nil
+			}
+			res := doResource(m, winenv.KindWindow, winenv.OpDelete, name, nil)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+}
+
+// registerLibrary adds the loadable-module APIs.
+func registerLibrary(r *Registry) {
+	r.Register(Spec{
+		Name: "LoadLibraryA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindLibrary, Op: winenv.OpOpen,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrModuleNotFound,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindLibrary, winenv.OpOpen, name, nil)
+			if !res.OK && res.Err == winenv.ErrModuleNotFound {
+				// Loading a module that is not registered but exists on
+				// disk (a dropped DLL) registers and loads it.
+				if m.Env().Exists(winenv.KindFile, name) {
+					res = doResource(m, winenv.KindLibrary, winenv.OpCreate, baseName(name), nil)
+				}
+			}
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetModuleHandleA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindLibrary, Op: winenv.OpQuery,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrModuleNotFound,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindLibrary, winenv.OpQuery, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			// Query does not allocate a handle; synthesize a stable
+			// module base from the name.
+			return Outcome{Ret: 0x10000000 | (hash32(name) & 0x0FFFF000), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "GetProcAddress", NArgs: 2,
+		Label: Label{IdentifierArg: -1, StrArgs: []int{1}},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			proc, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: 0x20000000 | (hash32(proc) & 0x0FFFFFF0), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "FreeLibrary", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			m.Env().CloseHandle(winenv.Handle(args[0].Value))
+			return Outcome{Ret: 1, Success: true}, nil
+		},
+	})
+}
+
+// hash32 is FNV-1a, used to synthesize stable fake addresses.
+func hash32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}

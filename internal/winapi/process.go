@@ -1,0 +1,291 @@
+package winapi
+
+import (
+	"autovac/internal/taint"
+	"autovac/internal/winenv"
+)
+
+// CurrentProcessPseudoHandle is GetCurrentProcess's return value.
+const CurrentProcessPseudoHandle uint32 = 0xFFFFFFFF
+
+// registerProcess adds process APIs, including the benign-process
+// injection primitives (OpenProcessByNameA + WriteProcessMemory +
+// CreateRemoteThread) whose disappearance from a mutated trace signals
+// Type-IV partial immunization.
+//
+// OpenProcessByNameA condenses the usual CreateToolhelp32Snapshot /
+// Process32Next / OpenProcess walk into one call; the observable
+// behaviour (find a victim process by image name, get a handle) is
+// identical, which is all the differential analysis compares.
+func registerProcess(r *Registry) {
+	r.Register(Spec{
+		Name: "GetCurrentProcess", NArgs: 0,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: CurrentProcessPseudoHandle, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "CreateProcessA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindProcess, Op: winenv.OpCreate,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			path, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			// The new process is identified by its image base name.
+			name := baseName(path)
+			// Starting a program requires its image to exist on disk
+			// unless it is a system binary.
+			if !m.Env().Exists(winenv.KindFile, path) && !m.Env().Exists(winenv.KindProcess, name) {
+				m.Env().SetLastError(winenv.ErrFileNotFound)
+				return Outcome{Ret: 0, Identifier: path}, nil
+			}
+			res := doResource(m, winenv.KindProcess, winenv.OpCreate, name, nil)
+			if !res.OK && res.Err == winenv.ErrAlreadyExists {
+				// A second instance of the same image is fine.
+				res = doResource(m, winenv.KindProcess, winenv.OpOpen, name, nil)
+			}
+			if !res.OK {
+				return Outcome{Ret: 0, Identifier: path}, nil
+			}
+			return Outcome{Ret: 1, Success: true, Identifier: path}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "OpenProcessByNameA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindProcess, Op: winenv.OpOpen,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: 0, FailureErr: winenv.ErrProcNotFound,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindProcess, winenv.OpOpen, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "WriteProcessMemory", NArgs: 3,
+		Label: Label{
+			Resource: winenv.KindProcess, Op: winenv.OpWrite,
+			IdentifierArg: 0, IdentifierViaHandle: true, Taint: TaintReturn,
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindProcess {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: 0}, nil
+			}
+			res := doResource(m, winenv.KindProcess, winenv.OpWrite, name, nil)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "CreateRemoteThread", NArgs: 2,
+		Label: Label{
+			Resource: winenv.KindProcess, Op: winenv.OpWrite,
+			IdentifierArg: 0, IdentifierViaHandle: true, Taint: TaintReturn,
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindProcess {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: 0}, nil
+			}
+			res := doResource(m, winenv.KindProcess, winenv.OpWrite, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: fakeSuccessHandle, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "TerminateProcess", NArgs: 2,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			if args[0].Value == CurrentProcessPseudoHandle {
+				return Outcome{Ret: 1, Success: true, Exit: ExitProcessKind, ExitCode: args[1].Value}, nil
+			}
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindProcess {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: 0}, nil
+			}
+			res := doResource(m, winenv.KindProcess, winenv.OpDelete, name, nil)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "ExitProcess", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: 0, Success: true, Exit: ExitProcessKind, ExitCode: args[0].Value}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "ExitThread", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: 0, Success: true, Exit: ExitThreadKind, ExitCode: args[0].Value}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "Sleep", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			return Outcome{Ret: 0, Success: true}, nil
+		},
+	})
+}
+
+// registerService adds the service-control-manager APIs, the kernel
+// injection vector of Type-I partial immunization (malware registering
+// a dropped .sys driver as a service).
+func registerService(r *Registry) {
+	r.Register(Spec{
+		Name: "OpenSCManagerA", NArgs: 0,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			// The SCM itself always opens; vaccine daemons may still
+			// intercept the subsequent service operations.
+			return Outcome{Ret: 0x5C0, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "CreateServiceA", NArgs: 3,
+		Label: Label{
+			Resource: winenv.KindService, Op: winenv.OpCreate,
+			IdentifierArg: 1, Taint: TaintReturn,
+			StaticArgs: []int{1, 2}, StrArgs: []int{1, 2},
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			binPath, _, err := m.ReadCString(args[2].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindService, winenv.OpCreate, name, []byte(binPath))
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "OpenServiceA", NArgs: 2,
+		Label: Label{
+			Resource: winenv.KindService, Op: winenv.OpOpen,
+			IdentifierArg: 1, Taint: TaintReturn,
+			StaticArgs: []int{1}, StrArgs: []int{1},
+			FailureRet: 0, FailureErr: winenv.ErrServiceNotFound,
+			SuccessRet: fakeSuccessHandle,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			name, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindService, winenv.OpOpen, name, nil)
+			if !res.OK {
+				return Outcome{Ret: 0}, nil
+			}
+			return Outcome{Ret: uint32(res.Handle), Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "StartServiceA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindService, Op: winenv.OpWrite,
+			IdentifierArg: 0, IdentifierViaHandle: true, Taint: TaintReturn,
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindService {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: 0}, nil
+			}
+			res := doResource(m, winenv.KindService, winenv.OpWrite, name, nil)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "DeleteService", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindService, Op: winenv.OpDelete,
+			IdentifierArg: 0, IdentifierViaHandle: true, Taint: TaintReturn,
+			FailureRet: 0, FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: 1,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, name, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindService {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: 0}, nil
+			}
+			res := doResource(m, winenv.KindService, winenv.OpDelete, name, nil)
+			return Outcome{Ret: boolRet(res.OK), Success: res.OK}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "CloseServiceHandle", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			ok := m.Env().CloseHandle(winenv.Handle(args[0].Value))
+			return Outcome{Ret: boolRet(ok), Success: ok}, nil
+		},
+	})
+}
+
+// baseName extracts the final path component.
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '\\' || path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

@@ -1,0 +1,180 @@
+package winapi
+
+import (
+	"autovac/internal/taint"
+	"autovac/internal/winenv"
+)
+
+// Registry-status success code (ERROR_SUCCESS); registry APIs return a
+// status rather than a handle, so their success convention is ret == 0 —
+// the inverted polarity the paper's API-labelling study has to record
+// per-API.
+const regSuccess uint32 = 0
+
+func registerRegistry(r *Registry) {
+	r.Register(Spec{
+		Name: "RegCreateKeyExA", NArgs: 2,
+		Label: Label{
+			Resource: winenv.KindRegistry, Op: winenv.OpCreate,
+			IdentifierArg: 0, Taint: TaintArg, TaintArgIndex: 1,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: uint32(winenv.ErrAccessDenied), FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: regSuccess,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			path, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindRegistry, winenv.OpCreate, path, nil)
+			if !res.OK && res.Err == winenv.ErrAlreadyExists {
+				// RegCreateKeyEx opens the key when it already exists.
+				res = doResource(m, winenv.KindRegistry, winenv.OpOpen, path, nil)
+			}
+			if !res.OK {
+				return Outcome{Ret: uint32(res.Err)}, nil
+			}
+			if err := m.WriteWord(args[1].Value, uint32(res.Handle), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: regSuccess, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "RegOpenKeyExA", NArgs: 2,
+		Label: Label{
+			Resource: winenv.KindRegistry, Op: winenv.OpOpen,
+			IdentifierArg: 0, Taint: TaintArg, TaintArgIndex: 1,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: uint32(winenv.ErrFileNotFound), FailureErr: winenv.ErrFileNotFound,
+			SuccessRet: regSuccess,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			path, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindRegistry, winenv.OpOpen, path, nil)
+			if !res.OK {
+				return Outcome{Ret: uint32(res.Err)}, nil
+			}
+			if err := m.WriteWord(args[1].Value, uint32(res.Handle), src); err != nil {
+				return Outcome{}, err
+			}
+			return Outcome{Ret: regSuccess, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "RegQueryValueExA", NArgs: 4,
+		Label: Label{
+			Resource: winenv.KindRegistry, Op: winenv.OpRead,
+			IdentifierArg: 0, IdentifierViaHandle: true, ValueNameArg: 1,
+			Taint:      TaintReturn,
+			StaticArgs: []int{1}, StrArgs: []int{1},
+			FailureRet: uint32(winenv.ErrFileNotFound), FailureErr: winenv.ErrFileNotFound,
+			SuccessRet: regSuccess,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, keyPath, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindRegistry {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: uint32(winenv.ErrInvalidHandle)}, nil
+			}
+			valueName, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			full := keyPath + `\` + valueName
+			res := doResource(m, winenv.KindRegistry, winenv.OpRead, full, nil)
+			if !res.OK {
+				return Outcome{Ret: uint32(res.Err), Identifier: full}, nil
+			}
+			n := args[3].Value
+			if uint32(len(res.Data)) < n {
+				n = uint32(len(res.Data))
+			}
+			if n > 0 {
+				if err := m.WriteBytes(args[2].Value, res.Data[:n], src); err != nil {
+					return Outcome{}, err
+				}
+			}
+			return Outcome{Ret: regSuccess, Success: true, Identifier: full}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "RegSetValueExA", NArgs: 4,
+		Label: Label{
+			Resource: winenv.KindRegistry, Op: winenv.OpWrite,
+			IdentifierArg: 0, IdentifierViaHandle: true, ValueNameArg: 1,
+			Taint:      TaintReturn,
+			StaticArgs: []int{1}, StrArgs: []int{1},
+			FailureRet: uint32(winenv.ErrAccessDenied), FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: regSuccess,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			h := winenv.Handle(args[0].Value)
+			kind, keyPath, ok := m.Env().HandleName(h)
+			if !ok || kind != winenv.KindRegistry {
+				m.Env().SetLastError(winenv.ErrInvalidHandle)
+				return Outcome{Ret: uint32(winenv.ErrInvalidHandle)}, nil
+			}
+			valueName, _, err := m.ReadCString(args[1].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			data, _, err := m.ReadBytes(args[2].Value, args[3].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			full := keyPath + `\` + valueName
+			var res winenv.Result
+			if m.Env().Exists(winenv.KindRegistry, full) {
+				res = doResource(m, winenv.KindRegistry, winenv.OpWrite, full, data)
+			} else {
+				res = doResource(m, winenv.KindRegistry, winenv.OpCreate, full, data)
+			}
+			if !res.OK {
+				return Outcome{Ret: uint32(res.Err), Identifier: full}, nil
+			}
+			return Outcome{Ret: regSuccess, Success: true, Identifier: full}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "RegDeleteKeyA", NArgs: 1,
+		Label: Label{
+			Resource: winenv.KindRegistry, Op: winenv.OpDelete,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StaticArgs: []int{0}, StrArgs: []int{0},
+			FailureRet: uint32(winenv.ErrAccessDenied), FailureErr: winenv.ErrAccessDenied,
+			SuccessRet: regSuccess,
+		},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			path, _, err := m.ReadCString(args[0].Value)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := doResource(m, winenv.KindRegistry, winenv.OpDelete, path, nil)
+			if !res.OK {
+				return Outcome{Ret: uint32(res.Err)}, nil
+			}
+			return Outcome{Ret: regSuccess, Success: true}, nil
+		},
+	})
+
+	r.Register(Spec{
+		Name: "RegCloseKey", NArgs: 1,
+		Label: Label{IdentifierArg: -1},
+		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
+			ok := m.Env().CloseHandle(winenv.Handle(args[0].Value))
+			if !ok {
+				return Outcome{Ret: uint32(winenv.ErrInvalidHandle)}, nil
+			}
+			return Outcome{Ret: regSuccess, Success: true}, nil
+		},
+	})
+}

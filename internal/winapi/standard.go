@@ -1,0 +1,38 @@
+package winapi
+
+// Standard assembles the full labelled API set: every file, registry,
+// mutex, process, service, window, library, network, host-information,
+// and string API this reproduction's programs call. It is the analogue
+// of the paper's examined-and-labelled Windows API table (§III-A).
+func Standard() *Registry {
+	r := NewRegistry()
+	registerFile(r)
+	registerRegistry(r)
+	registerMutex(r)
+	registerProcess(r)
+	registerService(r)
+	registerWindow(r)
+	registerLibrary(r)
+	registerNet(r)
+	registerInfo(r)
+	registerStrings(r)
+	return r
+}
+
+// TerminationAPIs lists the self-termination APIs whose appearance in
+// the mutated trace's difference set marks full immunization (§IV-B).
+func TerminationAPIs() []string {
+	return []string{"ExitProcess", "ExitThread", "TerminateProcess"}
+}
+
+// KernelInjectionAPIs lists the APIs whose loss marks Type-I partial
+// immunization (disable kernel injection).
+func KernelInjectionAPIs() []string {
+	return []string{"OpenSCManagerA", "CreateServiceA", "StartServiceA"}
+}
+
+// ProcessInjectionAPIs lists the APIs whose loss marks Type-IV partial
+// immunization (disable benign process injection).
+func ProcessInjectionAPIs() []string {
+	return []string{"OpenProcessByNameA", "WriteProcessMemory", "CreateRemoteThread"}
+}

@@ -1,0 +1,37 @@
+package winenv
+
+// ACL is a minimal access-control model for resources. The vaccine
+// delivery described in the paper (§V, "Direct Injection") adjusts an
+// injected file's access privilege "to disallow certain operation such as
+// read and write"; Deny expresses exactly that.
+type ACL struct {
+	// Deny lists operations that are refused for everyone but the owner.
+	Deny []Op
+	// OwnerOnly, when set, refuses every operation for principals other
+	// than Owner, regardless of Deny.
+	OwnerOnly bool
+}
+
+// denies reports whether the ACL refuses op for the given principal,
+// where owner is the resource owner.
+func (a ACL) denies(op Op, principal, owner string) bool {
+	if principal == owner {
+		return false
+	}
+	if a.OwnerOnly {
+		return true
+	}
+	for _, d := range a.Deny {
+		if d == op {
+			return true
+		}
+	}
+	return false
+}
+
+// DenyAll returns an ACL that refuses every operation to non-owners.
+// It models a super-user-owned vaccine file that malware cannot touch.
+func DenyAll() ACL { return ACL{OwnerOnly: true} }
+
+// DenyOps returns an ACL that refuses the listed operations to non-owners.
+func DenyOps(ops ...Op) ACL { return ACL{Deny: ops} }

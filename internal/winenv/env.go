@@ -1,0 +1,420 @@
+package winenv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HostIdentity carries the per-machine invariants that
+// algorithm-deterministic resource identifiers are derived from (§IV-C):
+// computer name, user name, volume serial number, and IP address. The
+// paper's Conficker case study generates a per-host mutex name from such
+// seeds.
+type HostIdentity struct {
+	ComputerName string
+	UserName     string
+	VolumeSerial uint32
+	IPAddress    string
+}
+
+// DefaultIdentity returns a plausible workstation identity.
+func DefaultIdentity() HostIdentity {
+	return HostIdentity{
+		ComputerName: "WIN-AUTOVAC01",
+		UserName:     "alice",
+		VolumeSerial: 0x5A17C0DE,
+		IPAddress:    "192.168.1.17",
+	}
+}
+
+// Request describes one attempted resource operation, as seen by
+// interception hooks and the event log.
+type Request struct {
+	Kind ResourceKind
+	Op   Op
+	// Name is the resource identifier in its original spelling.
+	Name string
+	// Principal is the program performing the operation.
+	Principal string
+	// Data carries the payload for write/create operations (may be nil).
+	Data []byte
+}
+
+// Result is the outcome of a resource operation.
+type Result struct {
+	// OK reports whether the operation succeeded.
+	OK bool
+	// Err is the GetLastError value when OK is false (and
+	// ErrAlreadyExists on a successful create of an existing mutex,
+	// matching CreateMutex semantics).
+	Err ErrorCode
+	// Handle is the opened handle for create/open operations.
+	Handle Handle
+	// Data is the payload for read operations.
+	Data []byte
+	// Intercepted reports that a hook (vaccine daemon) forced this result.
+	Intercepted bool
+}
+
+// Hook intercepts resource operations before they reach the namespace.
+// Returning a non-nil Result short-circuits the operation; returning nil
+// lets it proceed. The vaccine daemon (§V) is implemented as a Hook.
+type Hook func(Request) *Result
+
+// Event is a logged resource operation with its outcome.
+type Event struct {
+	Tick    uint64
+	Request Request
+	Result  Result
+}
+
+// openHandle tracks one open handle in the handle table.
+type openHandle struct {
+	kind      ResourceKind
+	canonical string
+	name      string
+	principal string
+}
+
+// Env is a simulated Windows-like environment: seven resource namespaces,
+// a handle table, a last-error register, interception hooks, and an event
+// log. The zero value is not usable; construct with New.
+//
+// Env is not safe for concurrent use; each emulated execution owns its
+// Env (use Clone to fork).
+type Env struct {
+	identity  HostIdentity
+	resources map[ResourceKind]map[string]*Resource
+	handles   map[Handle]*openHandle
+	next      Handle
+	lastErr   ErrorCode
+	hooks     []Hook
+	events    []Event
+	tick      uint64
+	// logEvents controls event recording (on by default).
+	logEvents bool
+	net       *Network
+}
+
+// New creates an environment with the given host identity and a small
+// population of system resources (system DLLs, core processes, registry
+// skeleton) that benign and malicious programs expect to find.
+func New(id HostIdentity) *Env {
+	e := &Env{
+		identity:  id,
+		resources: make(map[ResourceKind]map[string]*Resource),
+		handles:   make(map[Handle]*openHandle),
+		next:      4, // handles are multiples of 4, like Windows
+		logEvents: true,
+	}
+	for _, k := range Kinds() {
+		e.resources[k] = make(map[string]*Resource)
+	}
+	e.populateSystem()
+	return e
+}
+
+// populateSystem seeds the namespaces with baseline system resources.
+func (e *Env) populateSystem() {
+	sys := func(kind ResourceKind, names ...string) {
+		for _, n := range names {
+			e.resources[kind][canonicalName(n)] = &Resource{
+				Kind: kind, Name: n, Owner: "system",
+			}
+		}
+	}
+	sys(KindProcess, "explorer.exe", "svchost.exe", "winlogon.exe",
+		"services.exe", "lsass.exe", "csrss.exe")
+	sys(KindLibrary, "kernel32.dll", "ntdll.dll", "user32.dll",
+		"advapi32.dll", "ws2_32.dll", "wininet.dll", "uxtheme.dll",
+		"msvcrt.dll", "shell32.dll", "ole32.dll")
+	sys(KindFile, `C:\Windows\system32\kernel32.dll`,
+		`C:\Windows\system32\ntdll.dll`,
+		`C:\Windows\system.ini`,
+		`C:\Windows\win.ini`)
+	sys(KindRegistry,
+		`HKLM\Software\Microsoft\Windows\CurrentVersion\Run`,
+		`HKLM\Software\Microsoft\Windows\CurrentVersion\RunOnce`,
+		`HKCU\Software\Microsoft\Windows\CurrentVersion\Run`,
+		`HKLM\System\CurrentControlSet\Services`,
+		`HKLM\Software\Microsoft\Windows NT\CurrentVersion\Winlogon`)
+	sys(KindService, "EventLog", "Dhcp", "Dnscache", "LanmanServer")
+}
+
+// Identity returns the host identity.
+func (e *Env) Identity() HostIdentity { return e.identity }
+
+// SetIdentity replaces the host identity (used when modelling a different
+// end host or a changed computer name that forces vaccine regeneration).
+func (e *Env) SetIdentity(id HostIdentity) { e.identity = id }
+
+// LastError returns the current GetLastError value.
+func (e *Env) LastError() ErrorCode { return e.lastErr }
+
+// SetLastError sets the GetLastError value.
+func (e *Env) SetLastError(c ErrorCode) { e.lastErr = c }
+
+// Tick returns the logical clock, which advances on every operation.
+func (e *Env) Tick() uint64 { return e.tick }
+
+// AddHook registers an interception hook. Hooks run in registration order;
+// the first hook returning a non-nil Result decides the operation.
+func (e *Env) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
+
+// ClearHooks removes all interception hooks.
+func (e *Env) ClearHooks() { e.hooks = nil }
+
+// HookCount returns the number of registered hooks.
+func (e *Env) HookCount() int { return len(e.hooks) }
+
+// SetEventLogging enables or disables the event log.
+func (e *Env) SetEventLogging(on bool) { e.logEvents = on }
+
+// Events returns the recorded operation log. The returned slice is owned
+// by the environment; callers must not modify it.
+func (e *Env) Events() []Event { return e.events }
+
+// ResetEvents clears the event log.
+func (e *Env) ResetEvents() { e.events = nil }
+
+// Do performs a resource operation: it consults hooks, applies namespace
+// semantics, updates GetLastError, and logs the event.
+func (e *Env) Do(req Request) Result {
+	e.tick++
+	res := e.dispatch(req)
+	// Failures always set last-error. A success with a non-success code
+	// also sets it (CreateMutex on an existing object succeeds but reports
+	// ERROR_ALREADY_EXISTS); a plain success leaves last-error untouched.
+	if !res.OK || res.Err != ErrSuccess {
+		e.lastErr = res.Err
+	}
+	if e.logEvents {
+		e.events = append(e.events, Event{Tick: e.tick, Request: req, Result: res})
+	}
+	return res
+}
+
+// dispatch applies hooks then namespace semantics.
+func (e *Env) dispatch(req Request) Result {
+	for _, h := range e.hooks {
+		if r := h(req); r != nil {
+			r.Intercepted = true
+			return *r
+		}
+	}
+	if !req.Kind.Valid() || !req.Op.Valid() {
+		return Result{Err: ErrInvalidParameter}
+	}
+	ns := e.resources[req.Kind]
+	key := canonicalName(req.Name)
+	existing := ns[key]
+
+	if existing != nil && existing.ACL.denies(req.Op, req.Principal, existing.Owner) {
+		return Result{Err: ErrAccessDenied}
+	}
+
+	switch req.Op {
+	case OpCreate:
+		if existing != nil {
+			switch req.Kind {
+			case KindMutex:
+				// CreateMutex opens the existing object and reports
+				// ERROR_ALREADY_EXISTS while still succeeding.
+				return Result{OK: true, Err: ErrAlreadyExists, Handle: e.open(req, key)}
+			case KindService:
+				return Result{Err: ErrServiceExists}
+			default:
+				return Result{Err: ErrAlreadyExists}
+			}
+		}
+		ns[key] = &Resource{
+			Kind:      req.Kind,
+			Name:      req.Name,
+			Data:      append([]byte(nil), req.Data...),
+			Owner:     req.Principal,
+			CreatedAt: e.tick,
+		}
+		return Result{OK: true, Handle: e.open(req, key)}
+
+	case OpOpen:
+		if existing == nil {
+			return Result{Err: notFoundError(req.Kind)}
+		}
+		return Result{OK: true, Handle: e.open(req, key)}
+
+	case OpQuery:
+		if existing == nil {
+			return Result{Err: notFoundError(req.Kind)}
+		}
+		return Result{OK: true}
+
+	case OpRead:
+		if existing == nil {
+			return Result{Err: notFoundError(req.Kind)}
+		}
+		return Result{OK: true, Data: append([]byte(nil), existing.Data...)}
+
+	case OpWrite:
+		if existing == nil {
+			return Result{Err: notFoundError(req.Kind)}
+		}
+		existing.Data = append(existing.Data[:0], req.Data...)
+		return Result{OK: true}
+
+	case OpDelete:
+		if existing == nil {
+			return Result{Err: notFoundError(req.Kind)}
+		}
+		delete(ns, key)
+		return Result{OK: true}
+	}
+	return Result{Err: ErrInvalidParameter}
+}
+
+// open allocates a handle for a successful create/open.
+func (e *Env) open(req Request, canonical string) Handle {
+	h := e.next
+	e.next += 4
+	e.handles[h] = &openHandle{
+		kind:      req.Kind,
+		canonical: canonical,
+		name:      req.Name,
+		principal: req.Principal,
+	}
+	return h
+}
+
+// notFoundError maps a resource kind to its idiomatic not-found code.
+func notFoundError(k ResourceKind) ErrorCode {
+	switch k {
+	case KindLibrary:
+		return ErrModuleNotFound
+	case KindService:
+		return ErrServiceNotFound
+	case KindWindow:
+		return ErrWindowNotFound
+	default:
+		return ErrFileNotFound
+	}
+}
+
+// CloseHandle releases a handle. It returns false (and sets
+// ERROR_INVALID_HANDLE) if the handle is not open.
+func (e *Env) CloseHandle(h Handle) bool {
+	if _, ok := e.handles[h]; !ok {
+		e.lastErr = ErrInvalidHandle
+		return false
+	}
+	delete(e.handles, h)
+	return true
+}
+
+// HandleName resolves an open handle to its resource kind and name.
+func (e *Env) HandleName(h Handle) (ResourceKind, string, bool) {
+	oh, ok := e.handles[h]
+	if !ok {
+		return KindInvalid, "", false
+	}
+	return oh.kind, oh.name, true
+}
+
+// OpenHandleCount returns the number of live handles.
+func (e *Env) OpenHandleCount() int { return len(e.handles) }
+
+// Lookup returns the resource with the given kind and name, or nil.
+func (e *Env) Lookup(kind ResourceKind, name string) *Resource {
+	return e.resources[kind][canonicalName(name)]
+}
+
+// Exists reports whether a resource is present.
+func (e *Env) Exists(kind ResourceKind, name string) bool {
+	return e.Lookup(kind, name) != nil
+}
+
+// Inject places a resource directly into the environment, bypassing hooks
+// and the event log. It is the primitive behind vaccine direct injection.
+// Any existing resource with the same name is replaced.
+func (e *Env) Inject(r Resource) {
+	if r.Owner == "" {
+		r.Owner = "vaccine"
+	}
+	r.CreatedAt = e.tick
+	e.resources[r.Kind][canonicalName(r.Name)] = r.clone()
+}
+
+// Remove deletes a resource directly, bypassing hooks and the event log.
+// It reports whether the resource existed.
+func (e *Env) Remove(kind ResourceKind, name string) bool {
+	key := canonicalName(name)
+	if _, ok := e.resources[kind][key]; !ok {
+		return false
+	}
+	delete(e.resources[kind], key)
+	return true
+}
+
+// List returns the names of all resources of a kind owned by the given
+// owner ("" matches every owner), sorted for determinism.
+func (e *Env) List(kind ResourceKind, owner string) []string {
+	var names []string
+	for _, r := range e.resources[kind] {
+		if owner == "" || r.Owner == owner {
+			names = append(names, r.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResourceCount returns the total number of resources of a kind.
+func (e *Env) ResourceCount(kind ResourceKind) int {
+	return len(e.resources[kind])
+}
+
+// Clone returns a deep copy of the environment: resources, handle table,
+// identity, and last error. Hooks and the event log are NOT copied; a
+// clone starts with a clean log and no interception, which is what
+// repeated-analysis runs need.
+func (e *Env) Clone() *Env {
+	c := &Env{
+		identity:  e.identity,
+		resources: make(map[ResourceKind]map[string]*Resource, len(e.resources)),
+		handles:   make(map[Handle]*openHandle, len(e.handles)),
+		next:      e.next,
+		lastErr:   e.lastErr,
+		tick:      e.tick,
+		logEvents: e.logEvents,
+	}
+	for k, ns := range e.resources {
+		m := make(map[string]*Resource, len(ns))
+		for name, r := range ns {
+			m[name] = r.clone()
+		}
+		c.resources[k] = m
+	}
+	for h, oh := range e.handles {
+		cp := *oh
+		c.handles[h] = &cp
+	}
+	if e.net != nil {
+		// Copy network configuration (DNS, blackholes) but not flow logs.
+		cn := c.Net()
+		for k, v := range e.net.dns {
+			cn.dns[k] = v
+		}
+		for k, v := range e.net.blackholed {
+			cn.blackholed[k] = v
+		}
+	}
+	return c
+}
+
+// String summarizes the environment population.
+func (e *Env) String() string {
+	total := 0
+	for _, ns := range e.resources {
+		total += len(ns)
+	}
+	return fmt.Sprintf("winenv(%s: %d resources, %d handles)",
+		e.identity.ComputerName, total, len(e.handles))
+}

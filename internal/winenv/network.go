@@ -1,0 +1,167 @@
+package winenv
+
+import "fmt"
+
+// Flow records one outbound network interaction (connect/send/recv/resolve).
+type Flow struct {
+	Tick      uint64
+	Principal string
+	// Verb is one of "resolve", "connect", "send", "recv", "http".
+	Verb string
+	// Target is a host:port or hostname or URL.
+	Target string
+	// Bytes is the payload size for send/recv.
+	Bytes int
+	// OK reports whether the interaction succeeded.
+	OK bool
+}
+
+// Network simulates the reachable network from a host. By default every
+// target resolves and connects (malware C&C traffic should be observable
+// in the normal run); individual targets can be blackholed.
+type Network struct {
+	env *Env
+	// dns maps hostname -> IP. Unknown hostnames resolve to a synthetic
+	// address unless blackholed.
+	dns map[string]string
+	// blackholed targets fail to resolve/connect.
+	blackholed map[string]bool
+	flows      []Flow
+	nextSocket Handle
+	sockets    map[Handle]string // socket -> connected target
+}
+
+// Net returns the environment's network simulation, creating it on first
+// use.
+func (e *Env) Net() *Network {
+	if e.net == nil {
+		e.net = &Network{
+			env:        e,
+			dns:        make(map[string]string),
+			blackholed: make(map[string]bool),
+			sockets:    make(map[Handle]string),
+			nextSocket: 0x1000,
+		}
+	}
+	return e.net
+}
+
+// Blackhole makes a hostname or host:port target unreachable.
+func (n *Network) Blackhole(target string) { n.blackholed[target] = true }
+
+// AddDNS maps a hostname to an address.
+func (n *Network) AddDNS(host, ip string) { n.dns[host] = ip }
+
+// Flows returns the recorded network interactions.
+func (n *Network) Flows() []Flow { return n.flows }
+
+// ResetFlows clears the flow log.
+func (n *Network) ResetFlows() { n.flows = nil }
+
+// record appends a flow entry.
+func (n *Network) record(principal, verb, target string, bytes int, ok bool) {
+	n.env.tick++
+	n.flows = append(n.flows, Flow{
+		Tick: n.env.tick, Principal: principal, Verb: verb,
+		Target: target, Bytes: bytes, OK: ok,
+	})
+}
+
+// Resolve performs a DNS lookup.
+func (n *Network) Resolve(principal, host string) (string, bool) {
+	if n.blackholed[host] {
+		n.record(principal, "resolve", host, 0, false)
+		return "", false
+	}
+	ip, ok := n.dns[host]
+	if !ok {
+		// Synthesize a stable fake address so C&C domains "resolve".
+		ip = fmt.Sprintf("10.%d.%d.%d",
+			byte(len(host)*7), byte(hashString(host)), byte(hashString(host)>>8))
+	}
+	n.record(principal, "resolve", host, 0, true)
+	return ip, true
+}
+
+// Connect opens a connection to host:port, returning a socket handle.
+func (n *Network) Connect(principal, target string) (Handle, bool) {
+	if n.blackholed[target] {
+		n.record(principal, "connect", target, 0, false)
+		return InvalidHandle, false
+	}
+	s := n.nextSocket
+	n.nextSocket += 4
+	n.sockets[s] = target
+	n.record(principal, "connect", target, 0, true)
+	return s, true
+}
+
+// Send transmits bytes on a socket.
+func (n *Network) Send(principal string, s Handle, size int) bool {
+	target, ok := n.sockets[s]
+	if !ok {
+		n.record(principal, "send", "?", size, false)
+		return false
+	}
+	n.record(principal, "send", target, size, true)
+	return true
+}
+
+// Recv receives bytes on a socket; the simulation returns a fixed-size
+// synthetic payload.
+func (n *Network) Recv(principal string, s Handle, want int) (int, bool) {
+	target, ok := n.sockets[s]
+	if !ok {
+		n.record(principal, "recv", "?", 0, false)
+		return 0, false
+	}
+	n.record(principal, "recv", target, want, true)
+	return want, true
+}
+
+// BindConnect connects a caller-allocated socket handle to a target.
+func (n *Network) BindConnect(principal string, s Handle, target string) bool {
+	if n.blackholed[target] {
+		n.record(principal, "connect", target, 0, false)
+		return false
+	}
+	n.sockets[s] = target
+	n.record(principal, "connect", target, 0, true)
+	return true
+}
+
+// RecordSend logs an outbound transmission without socket bookkeeping.
+func (n *Network) RecordSend(principal string, bytes int) {
+	n.record(principal, "send", "-", bytes, true)
+}
+
+// RecordRecv logs an inbound transmission without socket bookkeeping.
+func (n *Network) RecordRecv(principal string, bytes int) {
+	n.record(principal, "recv", "-", bytes, true)
+}
+
+// HTTPGet simulates fetching a URL, returning a request handle.
+func (n *Network) HTTPGet(principal, url string) (Handle, bool) {
+	if n.blackholed[url] {
+		n.record(principal, "http", url, 0, false)
+		return InvalidHandle, false
+	}
+	s := n.nextSocket
+	n.nextSocket += 4
+	n.sockets[s] = url
+	n.record(principal, "http", url, 0, true)
+	return s, true
+}
+
+// CloseSocket releases a socket handle.
+func (n *Network) CloseSocket(s Handle) { delete(n.sockets, s) }
+
+// hashString is a small FNV-1a used to synthesize stable addresses.
+func hashString(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
