@@ -8,6 +8,9 @@
 // The table/figure benchmarks use a reduced corpus per iteration (the
 // Table II category mix is preserved); `go run ./cmd/benchreport -all`
 // regenerates the same outputs at the paper's full 1,716-sample scale.
+// The fleet distribution layer has its own benchmarks following the
+// same conventions: `go test -bench=. -benchmem ./internal/fleet`
+// (BenchmarkRegistryDeltaSync, BenchmarkCheckin, BenchmarkRegistryPublish).
 package autovac_test
 
 import (

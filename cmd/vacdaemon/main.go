@@ -1,37 +1,53 @@
-// Command vacdaemon demonstrates the resident vaccine daemon (paper §V):
-// it installs a vaccine pack on a simulated host, replays a set of
-// attack scenarios against the daemon's interception hooks, reports the
-// interception statistics and hook overhead, and shows the periodic
-// slice-replay refresh after a host rename.
+// Command vacdaemon demonstrates the resident vaccine daemon (paper §V)
+// in two modes. Pack mode installs a vaccine pack on a simulated host,
+// replays attack scenarios against the daemon's interception hooks,
+// reports interception statistics and hook overhead, and shows the
+// periodic slice-replay refresh after a host rename. Agent mode joins a
+// fleet: it polls a vacserver for vaccine deltas, installs them through
+// the daemon, heartbeats the applied version back, and keeps simulated
+// attack probes running against the host until SIGINT/SIGTERM, when it
+// drains and prints a final stats line.
 //
 // Usage:
 //
 //	autovac -corpus 60 -out pack.json
 //	vacdaemon -pack pack.json -attacks 200
+//	vacdaemon -server http://127.0.0.1:8377 -interval 2s
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"autovac/internal/deploy"
+	"autovac/internal/fleet"
 	"autovac/internal/vaccine"
 	"autovac/internal/winenv"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "vacdaemon:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("vacdaemon", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
 		packPath = fs.String("pack", "", "vaccine pack (JSON) to serve")
+		server   = fs.String("server", "", "vacserver base URL; join its fleet as a host agent")
+		interval = fs.Duration("interval", 2*time.Second, "agent poll interval")
+		hostname = fs.String("host", "", "host identifier for fleet check-ins (default: computer name)")
 		attacks  = fs.Int("attacks", 100, "number of simulated resource probes")
 		rename   = fs.String("rename", "RENAMED-HOST-01", "new computer name for the refresh demo")
 		seed     = fs.Int64("seed", 42, "deterministic seed")
@@ -39,10 +55,72 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *packPath == "" {
-		return fmt.Errorf("need -pack")
+	if *server != "" {
+		return runAgent(ctx, out, *server, *hostname, *interval, uint64(*seed))
 	}
-	f, err := os.Open(*packPath)
+	if *packPath == "" {
+		return fmt.Errorf("need -pack or -server")
+	}
+	return runPack(out, *packPath, *attacks, *rename, uint64(*seed))
+}
+
+// runAgent joins a vacserver fleet and polls until the context is
+// cancelled, then prints the final stats line. Between syncs it fires
+// one probe per installed partial-static pattern, so heartbeats carry
+// live interception counts.
+func runAgent(ctx context.Context, out io.Writer, server, hostname string, interval time.Duration, seed uint64) error {
+	id := winenv.DefaultIdentity()
+	if hostname != "" {
+		id.ComputerName = hostname
+	}
+	env := winenv.New(id)
+	agent := fleet.NewAgent(fleet.AgentConfig{
+		BaseURL: server,
+		Host:    hostname,
+		Env:     env,
+		Seed:    seed,
+	})
+	fmt.Fprintf(out, "vacdaemon: agent %s polling %s every %v\n", agent.Host(), server, interval)
+	probe := 0
+	for {
+		applied, err := agent.SyncOnce(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			fmt.Fprintf(out, "sync failed (will retry next interval): %v\n", err)
+		} else if applied > 0 {
+			fmt.Fprintf(out, "applied %d vaccines (version %d, %d installed)\n",
+				applied, agent.Version(), agent.Daemon().VaccineCount())
+		}
+		// Simulated attack traffic: probe every daemon pattern once.
+		for _, p := range installedPatterns(agent.Daemon()) {
+			probe++
+			env.Do(winenv.Request{Kind: p.kind, Op: winenv.OpCreate,
+				Name: probeName(p.pattern, probe), Principal: "probe"})
+		}
+		t := time.NewTimer(interval)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+		case <-t.C:
+			continue
+		}
+		break
+	}
+	st := agent.Stats()
+	inspected, intercepted := agent.Daemon().Stats()
+	fmt.Fprintf(out,
+		"vacdaemon: final stats: syncs=%d deltas=%d not_modified=%d retries=%d applied=%d checkins=%d inspected=%d intercepted=%d version=%d\n",
+		st.Syncs, st.Deltas, st.NotModified, st.Retries, st.Applied, st.Checkins,
+		inspected, intercepted, agent.Version())
+	return nil
+}
+
+// runPack is the original single-host demo: install a pack, replay
+// probes, show the refresh after a rename.
+func runPack(out io.Writer, packPath string, attacks int, rename string, seed uint64) error {
+	f, err := os.Open(packPath)
 	if err != nil {
 		return err
 	}
@@ -53,24 +131,24 @@ func run(args []string) error {
 	}
 
 	env := winenv.New(winenv.DefaultIdentity())
-	d := deploy.NewDaemon(env, uint64(*seed))
+	d := deploy.NewDaemon(env, seed)
 	installStart := time.Now()
 	installed := 0
 	for _, v := range pack.Vaccines {
 		if err := d.Install(v); err != nil {
-			fmt.Printf("skipping %s: %v\n", v.ID, err)
+			fmt.Fprintf(out, "skipping %s: %v\n", v.ID, err)
 			continue
 		}
 		installed++
 	}
-	fmt.Printf("installed %d/%d vaccines in %v\n",
+	fmt.Fprintf(out, "installed %d/%d vaccines in %v\n",
 		installed, len(pack.Vaccines), time.Since(installStart).Round(time.Microsecond))
 
 	// Replay attack probes: half target vaccinated patterns, half are
 	// unrelated benign-style operations (hook pass-through cost).
 	patterns := daemonPatterns(pack.Vaccines)
 	start := time.Now()
-	for i := 0; i < *attacks; i++ {
+	for i := 0; i < attacks; i++ {
 		var name string
 		var kind winenv.ResourceKind
 		if len(patterns) > 0 && i%2 == 0 {
@@ -85,23 +163,23 @@ func run(args []string) error {
 	}
 	elapsed := time.Since(start)
 	inspected, intercepted := d.Stats()
-	fmt.Printf("probes:       %d in %v (%.2fµs/op)\n",
-		*attacks, elapsed.Round(time.Microsecond),
-		float64(elapsed.Microseconds())/float64(max(*attacks, 1)))
-	fmt.Printf("inspected:    %d\n", inspected)
-	fmt.Printf("intercepted:  %d\n", intercepted)
+	fmt.Fprintf(out, "probes:       %d in %v (%.2fµs/op)\n",
+		attacks, elapsed.Round(time.Microsecond),
+		float64(elapsed.Microseconds())/float64(max(attacks, 1)))
+	fmt.Fprintf(out, "inspected:    %d\n", inspected)
+	fmt.Fprintf(out, "intercepted:  %d\n", intercepted)
 
 	// Refresh demo: the host is renamed; algorithm-deterministic
 	// vaccines are re-generated from their slices.
 	id := env.Identity()
 	old := id.ComputerName
-	id.ComputerName = *rename
+	id.ComputerName = rename
 	env.SetIdentity(id)
 	n, err := d.Refresh()
 	if err != nil {
 		return err
 	}
-	fmt.Printf("refresh after rename %s -> %s: %d vaccines re-generated\n", old, *rename, n)
+	fmt.Fprintf(out, "refresh after rename %s -> %s: %d vaccines re-generated\n", old, rename, n)
 	return nil
 }
 
@@ -120,6 +198,11 @@ func daemonPatterns(vs []vaccine.Vaccine) []daemonPattern {
 		}
 	}
 	return out
+}
+
+// installedPatterns extracts the patterns installed in a live daemon.
+func installedPatterns(d *deploy.Daemon) []daemonPattern {
+	return daemonPatterns(d.Installed())
 }
 
 // probeName instantiates a wildcard pattern into a concrete probe name.

@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"io"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"autovac/internal/core"
+	"autovac/internal/fleet"
 	"autovac/internal/malware"
 	"autovac/internal/vaccine"
 )
@@ -54,17 +61,83 @@ func mixedPack(t *testing.T) string {
 
 func TestDaemonServesPack(t *testing.T) {
 	pack := mixedPack(t)
-	if err := run([]string{"-pack", pack, "-attacks", "50", "-seed", "42"}); err != nil {
+	if err := run(context.Background(), []string{"-pack", pack, "-attacks", "50", "-seed", "42"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestDaemonErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	ctx := context.Background()
+	if err := run(ctx, []string{}, io.Discard); err == nil {
 		t.Error("missing -pack accepted")
 	}
-	if err := run([]string{"-pack", "/no/such.json"}); err == nil {
+	if err := run(ctx, []string{"-pack", "/no/such.json"}, io.Discard); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestAgentModeSyncsAndShutsDown points vacdaemon at a fleet server,
+// lets it sync and probe, then cancels the context and checks the
+// graceful final stats line.
+func TestAgentModeSyncsAndShutsDown(t *testing.T) {
+	packPath := mixedPack(t)
+	f, err := os.Open(packPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack, err := vaccine.ReadPack(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := fleet.NewRegistry(0)
+	if _, _, err := reg.Publish(pack.Vaccines...); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(fleet.NewServer(reg).Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var buf bytes.Buffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-server", ts.URL, "-host", "AGENT-01", "-interval", "5ms"}, &buf)
+	}()
+	// Give the agent a few poll intervals, then stop it.
+	deadline := time.After(5 * time.Second)
+	for reg.Fleet(time.Minute, time.Now()).ActiveHosts == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("agent never checked in")
+		case err := <-done:
+			t.Fatalf("agent exited early: %v", err)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	time.Sleep(30 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("agent mode returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not shut down")
+	}
+	out := buf.String()
+	for _, want := range []string{"applied", "final stats", "version="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	st := reg.Fleet(time.Minute, time.Now())
+	if st.ActiveHosts != 1 || st.Converged != 1 {
+		t.Fatalf("server fleet view %+v", st)
+	}
+	// The probe loop exercised the daemon's interception path.
+	if st.Inspected == 0 {
+		t.Fatal("no probes inspected")
 	}
 }
 

@@ -1,0 +1,145 @@
+// Command vacserver is the fleet vaccine distribution server: it loads
+// vaccine packs produced by cmd/autovac into the sharded registry and
+// serves the HTTP sync protocol host agents poll (see internal/fleet).
+//
+// Usage:
+//
+//	autovac -corpus 60 -out pack.json
+//	vacserver -addr 127.0.0.1:8377 -pack pack.json
+//	vacdaemon -server http://127.0.0.1:8377
+//
+// Endpoints: GET /v1/packs?since=<version> (delta sync, ETag/304),
+// POST /v1/checkin (host heartbeats), GET /v1/metrics (counters).
+// SIGINT/SIGTERM drain in-flight requests and print a final stats
+// line before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"autovac/internal/fleet"
+	"autovac/internal/vaccine"
+)
+
+// shutdownGrace bounds how long shutdown waits for in-flight requests.
+const shutdownGrace = 5 * time.Second
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "vacserver:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server and blocks until the context is cancelled,
+// then drains and prints the final stats line. onReady, when non-nil,
+// receives the bound address once the listener is up (used by tests
+// to learn the port behind ":0").
+func run(ctx context.Context, args []string, out io.Writer, onReady func(addr string)) error {
+	fs := newFlagSet(out)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8377", "listen address")
+		packs     = fs.String("pack", "", "comma-separated vaccine pack files (JSON) to publish")
+		shards    = fs.Int("shards", fleet.DefaultShards, "registry shard count")
+		generator = fs.String("generator", "autovac", "generator label echoed in sync responses")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := fleet.NewRegistry(*shards)
+	reg.SetGenerator(*generator)
+	for _, path := range splitList(*packs) {
+		n, err := publishPack(reg, path)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "published %s: %d vaccines (version %d)\n", path, n, reg.Latest())
+	}
+
+	srv := fleet.NewServer(reg)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "vacserver: listening on http://%s serving %d vaccines (version %d)\n",
+		ln.Addr(), reg.Count(), reg.Latest())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight requests finish.
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	snap := srv.MetricsSnapshot()
+	fmt.Fprintf(out,
+		"vacserver: final stats: requests=%d deltas=%d not_modified=%d checkins=%d errors=%d bytes=%d active_hosts=%d converged=%d p50=%dµs p99=%dµs\n",
+		snap.Requests, snap.DeltasServed, snap.NotModified, snap.Checkins,
+		snap.Errors, snap.BytesServed, snap.ActiveHosts, snap.Converged,
+		snap.P50Micros, snap.P99Micros)
+	return nil
+}
+
+// newFlagSet builds the flag set with output wired to out.
+func newFlagSet(out io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet("vacserver", flag.ContinueOnError)
+	fs.SetOutput(out)
+	return fs
+}
+
+// publishPack loads one pack file into the registry.
+func publishPack(reg *fleet.Registry, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	pack, err := vaccine.ReadPack(f)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	_, stored, err := reg.Publish(pack.Vaccines...)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	return stored, nil
+}
+
+// splitList splits a comma-separated flag value, dropping empties.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"autovac/internal/determinism"
+	"autovac/internal/fleet"
+	"autovac/internal/impact"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// writePack writes a small static-vaccine pack and returns its path.
+func writePack(t *testing.T, n int) string {
+	t.Helper()
+	p := vaccine.Pack{Generator: "test"}
+	for i := 0; i < n; i++ {
+		p.Vaccines = append(p.Vaccines, vaccine.Vaccine{
+			ID: fmt.Sprintf("srv/mutex/%d", i), Sample: "srv",
+			Resource: winenv.KindMutex, Identifier: fmt.Sprintf("SRV-MARKER-%d", i),
+			Class: determinism.Static, Op: "create", API: "CreateMutexA",
+			Effect: impact.Full, Polarity: vaccine.SimulatePresence,
+			Delivery: vaccine.DirectInjection,
+		})
+	}
+	path := filepath.Join(t.TempDir(), "pack.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := p.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// lockedBuffer keeps run's writes race-free against test reads.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestServeSyncShutdown boots the server on an ephemeral port, syncs
+// against it like an agent would, then cancels the context and checks
+// the graceful-shutdown stats line.
+func TestServeSyncShutdown(t *testing.T) {
+	pack := writePack(t, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &lockedBuffer{}
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-pack", pack}, out,
+			func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + fleet.PathPacks + "?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delta fleet.DeltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&delta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(delta.Vaccines) != 5 || delta.Version != 5 {
+		t.Fatalf("delta %+v", delta)
+	}
+
+	resp, err = http.Post(base+fleet.PathCheckin, "application/json",
+		strings.NewReader(`{"Host":"T1","Version":5,"Installed":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Get(base + fleet.PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap fleet.MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Vaccines != 5 || snap.Checkins != 1 || snap.ActiveHosts != 1 {
+		t.Fatalf("metrics %+v", snap)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+	got := out.String()
+	for _, want := range []string{"listening on", "final stats", "checkins=1", "deltas=1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunRejectsMissingPack(t *testing.T) {
+	err := run(context.Background(), []string{"-pack", "/nonexistent/pack.json"}, &bytes.Buffer{}, nil)
+	if err == nil {
+		t.Fatal("missing pack file accepted")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a.json , ,b.json,")
+	if len(got) != 2 || got[0] != "a.json" || got[1] != "b.json" {
+		t.Fatalf("splitList %v", got)
+	}
+	if splitList("") != nil {
+		t.Fatal("empty list should be nil")
+	}
+}

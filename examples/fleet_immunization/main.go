@@ -1,14 +1,15 @@
-// Fleet immunization: a corpus-wide vaccine pack on real machines.
+// Fleet immunization: corpus-wide vaccine distribution to real machines.
 //
 // The paper's §VI-E installs 200 vaccines on everyday-use lab machines
-// and §VII argues the footprint is tiny ("most generated vaccines in
-// practice are just some files, mutexes, registry entries, whose sizes
-// are tiny or even with 0 byte"). This example reproduces that story at
-// fleet scale: analyse a malware corpus once, deduplicate the vaccines
-// (one resource per fleet, however many samples produced it), install
-// the pack on a set of workstations, and measure how much of a fresh
-// attack wave the fleet now shrugs off — while the benign suite keeps
-// running untouched.
+// and §VII argues the footprint is tiny. This example reproduces that
+// story at fleet scale, end-to-end through the distribution subsystem
+// (internal/fleet): analyse a malware corpus once, deduplicate the
+// vaccines, publish them in two waves to a sync server, let a fleet of
+// concurrent host agents converge on the latest pack via delta sync
+// (ETag/304 steady-state polling, retries over an injected-fault
+// transport), and then measure how much of a fresh attack wave the
+// immunized fleet shrugs off — compared against unprotected control
+// hosts, and while the benign suite keeps running untouched.
 //
 // Run with:
 //
@@ -16,12 +17,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"autovac/internal/core"
 	"autovac/internal/emu"
 	"autovac/internal/exclusive"
+	"autovac/internal/fleet"
 	"autovac/internal/impact"
 	"autovac/internal/malware"
 	"autovac/internal/trace"
@@ -33,7 +36,7 @@ const (
 	seed       = 42
 	corpusSize = 120 // samples captured and analysed
 	waveSize   = 40  // fresh attack wave (variants of corpus samples)
-	machines   = 4   // everyday-use lab machines (§VI-E)
+	machines   = 8   // lab machines running fleet agents (§VI-E)
 )
 
 func main() {
@@ -71,24 +74,35 @@ func run() error {
 	fmt.Printf("corpus: %d samples -> %d vaccines, %d after fleet dedupe\n",
 		len(corpus), len(all), len(deduped))
 
-	// Install the pack on each machine.
-	hosts := make([]*winenv.Env, machines)
-	for i := range hosts {
-		id := winenv.DefaultIdentity()
-		id.ComputerName = fmt.Sprintf("LAB-PC-%02d", i+1)
-		hosts[i] = winenv.New(id)
-		malware.PrepareBenignEnv(hosts[i])
-		d := pipeline.NewDaemonFor(hosts[i])
-		installed := 0
-		for _, v := range deduped {
-			if err := d.Install(v); err == nil {
-				installed++
-			}
-		}
-		if i == 0 {
-			fmt.Printf("installed %d vaccines per machine\n\n", installed)
-		}
+	// Distribute through the fleet subsystem: the analysis site
+	// publishes in two waves (day-one pack, then a later update), and
+	// one agent per lab machine pulls deltas over HTTP — with a fault
+	// injected on every 6th pack request to show the retry path.
+	split := len(deduped) * 2 / 3
+	res, err := fleet.Simulate(context.Background(), fleet.SimConfig{
+		Hosts:        machines,
+		Waves:        [][]vaccine.Vaccine{deduped[:split], deduped[split:]},
+		Seed:         seed,
+		Generator:    "autovac-fleet-example",
+		FailEveryNth: 6,
+		Identity: func(i int) winenv.HostIdentity {
+			id := winenv.DefaultIdentity()
+			id.ComputerName = fmt.Sprintf("LAB-PC-%02d", i+1)
+			id.IPAddress = fmt.Sprintf("10.0.0.%d", i+10)
+			return id
+		},
+		Prepare: func(i int, env *winenv.Env) { malware.PrepareBenignEnv(env) },
+	})
+	if err != nil {
+		return err
 	}
+	fmt.Printf("fleet sync: %d/%d agents converged at version %d (2 waves)\n",
+		res.Converged, machines, res.Version)
+	fmt.Printf("  server: %d requests, %d deltas, %d 304s, %d checkins, %d bytes\n",
+		res.Server.Requests, res.Server.DeltasServed, res.Server.NotModified,
+		res.Server.Checkins, res.Server.BytesServed)
+	fmt.Printf("  agents: %d installs, %d retries after injected faults\n\n",
+		res.Stats.Applied, res.Stats.Retries)
 
 	// A fresh attack wave: polymorphic variants of corpus samples.
 	var wave []*malware.Sample
@@ -103,12 +117,17 @@ func run() error {
 		wave = append(wave, vs...)
 	}
 
-	stopped, weakened, unaffected := 0, 0, 0
+	// Replay the wave against the immunized fleet and against
+	// unprotected control hosts with the same identities.
+	stopped, weakened, unaffected, controlInfected := 0, 0, 0, 0
 	for wi, attack := range wave {
-		host := hosts[wi%machines]
+		host := res.Agents[wi%machines].Env()
 		normal, err := emu.Run(attack.Program, winenv.New(host.Identity()), emu.Options{Seed: seed})
 		if err != nil {
 			return err
+		}
+		if normal.Exit != trace.ExitProcess {
+			controlInfected++
 		}
 		// Run against the live host (clones would drop daemon hooks).
 		got, err := emu.Run(attack.Program, host, emu.Options{Seed: seed})
@@ -125,15 +144,17 @@ func run() error {
 			unaffected++
 		}
 	}
-	fmt.Printf("attack wave of %d variants against the vaccinated fleet:\n", len(wave))
-	fmt.Printf("  fully stopped:      %d\n", stopped)
-	fmt.Printf("  payload weakened:   %d\n", weakened)
-	fmt.Printf("  unaffected:         %d\n", unaffected)
+	fmt.Printf("attack wave of %d variants:\n", len(wave))
+	fmt.Printf("  ran to payload on unprotected controls: %d\n", controlInfected)
+	fmt.Printf("  against the immunized fleet:\n")
+	fmt.Printf("    fully stopped:      %d\n", stopped)
+	fmt.Printf("    payload weakened:   %d\n", weakened)
+	fmt.Printf("    unaffected:         %d\n", unaffected)
 
 	// The benign suite still runs cleanly on a vaccinated machine.
 	broken := 0
 	for _, b := range benign {
-		tr, err := emu.Run(b.Program, hosts[0].Clone(), emu.Options{Seed: seed})
+		tr, err := emu.Run(b.Program, res.Agents[0].Env().Clone(), emu.Options{Seed: seed})
 		if err != nil {
 			return err
 		}

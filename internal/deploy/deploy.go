@@ -9,6 +9,7 @@ package deploy
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"autovac/internal/determinism"
@@ -219,6 +220,48 @@ func (d *Daemon) intercept(req winenv.Request) *winenv.Result {
 		}
 	}
 	return nil
+}
+
+// Installed returns a snapshot of the installed vaccines, in
+// deterministic ID order.
+func (d *Daemon) Installed() []vaccine.Vaccine {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]vaccine.Vaccine, 0, len(d.byID))
+	for _, v := range d.byID {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Has reports whether a vaccine ID is already installed.
+func (d *Daemon) Has(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.byID[id]
+	return ok
+}
+
+// InstallPack installs a batch of vaccines, as delivered by a fleet
+// sync. Vaccine IDs are immutable: an ID the daemon already holds is
+// skipped rather than reinstalled, so replayed full packs are
+// idempotent. Vaccines that fail validation or identifier resolution
+// are counted as failed and do not abort the batch (a pack generated
+// for the whole fleet may contain entries inapplicable to this host).
+func (d *Daemon) InstallPack(vs []vaccine.Vaccine) (installed, skipped, failed int) {
+	for i := range vs {
+		if d.Has(vs[i].ID) {
+			skipped++
+			continue
+		}
+		if err := d.Install(vs[i]); err != nil {
+			failed++
+			continue
+		}
+		installed++
+	}
+	return installed, skipped, failed
 }
 
 // Refresh re-resolves every algorithm-deterministic vaccine against the

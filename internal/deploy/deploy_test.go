@@ -313,3 +313,41 @@ func TestRemove(t *testing.T) {
 		t.Error("vaccine not removed")
 	}
 }
+
+func TestInstallPackIdempotent(t *testing.T) {
+	env := winenv.New(winenv.DefaultIdentity())
+	d := NewDaemon(env, 1)
+	bad := staticVaccine()
+	bad.ID = "bad/mutex/0"
+	bad.Identifier = "" // fails validation
+	pack := []vaccine.Vaccine{
+		staticVaccine(),
+		blockVaccine(),
+		{
+			ID: "p/mutex/0", Sample: "p",
+			Resource: winenv.KindMutex, Pattern: "PACK-*",
+			Class: determinism.PartialStatic, Effect: impact.Full,
+			Polarity: vaccine.SimulatePresence, Delivery: vaccine.VaccineDaemon,
+		},
+		bad,
+	}
+	installed, skipped, failed := d.InstallPack(pack)
+	if installed != 3 || skipped != 0 || failed != 1 {
+		t.Fatalf("first install: %d/%d/%d, want 3/0/1", installed, skipped, failed)
+	}
+	if !d.Has("poisonivy/mutex/0") || d.Has("bad/mutex/0") {
+		t.Fatal("Has disagrees with install results")
+	}
+	// Replaying the same pack (a fleet full sync) is a no-op.
+	installed, skipped, failed = d.InstallPack(pack)
+	if installed != 0 || skipped != 3 || failed != 1 {
+		t.Fatalf("replay: %d/%d/%d, want 0/3/1", installed, skipped, failed)
+	}
+	if d.VaccineCount() != 3 {
+		t.Fatalf("daemon holds %d vaccines, want 3", d.VaccineCount())
+	}
+	got := d.Installed()
+	if len(got) != 3 || got[0].ID > got[1].ID || got[1].ID > got[2].ID {
+		t.Fatalf("Installed snapshot unordered: %v", got)
+	}
+}

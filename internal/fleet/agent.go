@@ -1,0 +1,269 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strings"
+	"time"
+
+	"autovac/internal/deploy"
+	"autovac/internal/winenv"
+)
+
+// Agent defaults.
+const (
+	DefaultMaxRetries  = 4
+	DefaultBaseBackoff = 25 * time.Millisecond
+	DefaultMaxBackoff  = 2 * time.Second
+)
+
+// AgentConfig configures one host agent.
+type AgentConfig struct {
+	// BaseURL is the vacserver root, e.g. "http://10.0.0.1:8377".
+	BaseURL string
+	// Host is this host's identifier in check-ins; defaults to the
+	// environment's computer name.
+	Host string
+	// Env is the host environment vaccines are installed into.
+	Env *winenv.Env
+	// Seed feeds slice replay (deploy.ResolveIdentifier) and the
+	// backoff jitter.
+	Seed uint64
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// MaxRetries bounds the retries of one failed sync round trip.
+	MaxRetries int
+	// BaseBackoff and MaxBackoff shape the jittered exponential
+	// backoff between retries.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// AgentStats counts one agent's sync activity. Read it from the
+// agent's own goroutine (Agent is not safe for concurrent use).
+type AgentStats struct {
+	// Syncs counts completed SyncOnce calls.
+	Syncs int
+	// Deltas counts 200 pack responses; NotModified counts 304s.
+	Deltas      int
+	NotModified int
+	// Retries counts failed round trips that were retried.
+	Retries int
+	// Applied, Skipped, and Failed total the daemon install results.
+	Applied int
+	Skipped int
+	Failed  int
+	// Checkins counts delivered heartbeats.
+	Checkins int
+}
+
+// Agent is a host-side fleet client: it polls the server for vaccine
+// deltas with jittered exponential backoff, installs them through the
+// host's deploy daemon (which resolves identifiers per host, replaying
+// slices for algorithm-deterministic vaccines), and heartbeats the
+// applied version back. An Agent is single-goroutine; run many agents
+// for many hosts.
+type Agent struct {
+	cfg     AgentConfig
+	daemon  *deploy.Daemon
+	version uint64
+	etag    string
+	rng     *rand.Rand
+	stats   AgentStats
+}
+
+// NewAgent creates an agent bound to a host environment.
+func NewAgent(cfg AgentConfig) *Agent {
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.Host == "" && cfg.Env != nil {
+		cfg.Host = cfg.Env.Identity().ComputerName
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	return &Agent{
+		cfg:    cfg,
+		daemon: deploy.NewDaemon(cfg.Env, cfg.Seed),
+		rng:    rand.New(rand.NewSource(int64(cfg.Seed) ^ int64(fnv32a(cfg.Host)))),
+	}
+}
+
+// Version returns the latest registry version the agent has applied.
+func (a *Agent) Version() uint64 { return a.version }
+
+// Stats returns the agent's sync counters.
+func (a *Agent) Stats() AgentStats { return a.stats }
+
+// Daemon returns the host's vaccine daemon.
+func (a *Agent) Daemon() *deploy.Daemon { return a.daemon }
+
+// Env returns the host environment.
+func (a *Agent) Env() *winenv.Env { return a.cfg.Env }
+
+// Host returns the agent's check-in identifier.
+func (a *Agent) Host() string { return a.cfg.Host }
+
+// backoff sleeps before retry attempt n (0-based) with exponential
+// growth and ±50% jitter, honouring context cancellation.
+func (a *Agent) backoff(ctx context.Context, n int) error {
+	d := a.cfg.BaseBackoff << uint(n)
+	if d > a.cfg.MaxBackoff || d <= 0 {
+		d = a.cfg.MaxBackoff
+	}
+	d = d/2 + time.Duration(a.rng.Int63n(int64(d)))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retry runs op with bounded, jittered-exponential-backoff retries.
+func (a *Agent) retry(ctx context.Context, op func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt >= a.cfg.MaxRetries {
+			return err
+		}
+		a.stats.Retries++
+		if berr := a.backoff(ctx, attempt); berr != nil {
+			return berr
+		}
+	}
+}
+
+// fetch performs one GET /v1/packs round trip. A nil delta with nil
+// error means 304 Not Modified.
+func (a *Agent) fetch(ctx context.Context) (*DeltaResponse, error) {
+	url := fmt.Sprintf("%s%s?since=%d", a.cfg.BaseURL, PathPacks, a.version)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if a.etag != "" {
+		req.Header.Set("If-None-Match", a.etag)
+	}
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, nil
+	case http.StatusOK:
+		var delta DeltaResponse
+		if err := json.NewDecoder(resp.Body).Decode(&delta); err != nil {
+			return nil, fmt.Errorf("fleet: agent %s: decoding delta: %w", a.cfg.Host, err)
+		}
+		return &delta, nil
+	default:
+		return nil, fmt.Errorf("fleet: agent %s: packs: %s", a.cfg.Host, resp.Status)
+	}
+}
+
+// checkin delivers one heartbeat.
+func (a *Agent) checkin(ctx context.Context) error {
+	inspected, intercepted := a.daemon.Stats()
+	body, err := json.Marshal(CheckinRequest{
+		Host:        a.cfg.Host,
+		Version:     a.version,
+		Installed:   a.daemon.VaccineCount(),
+		Inspected:   inspected,
+		Intercepted: intercepted,
+	})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		a.cfg.BaseURL+PathCheckin, strings.NewReader(string(body)))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := a.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: agent %s: checkin: %s", a.cfg.Host, resp.Status)
+	}
+	a.stats.Checkins++
+	return nil
+}
+
+// SyncOnce performs one sync cycle: fetch the delta since the applied
+// version (with retries), install any new vaccines through the host
+// daemon, and heartbeat the result. It returns the number of vaccines
+// newly installed.
+func (a *Agent) SyncOnce(ctx context.Context) (int, error) {
+	var delta *DeltaResponse
+	err := a.retry(ctx, func() error {
+		d, err := a.fetch(ctx)
+		if err != nil {
+			return err
+		}
+		delta = d
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	if delta == nil {
+		a.stats.NotModified++
+	} else {
+		a.stats.Deltas++
+		installed, skipped, failed := a.daemon.InstallPack(delta.Vaccines)
+		a.stats.Applied += installed
+		a.stats.Skipped += skipped
+		a.stats.Failed += failed
+		applied = installed
+		a.version = delta.Version
+		a.etag = `"` + delta.ETag + `"`
+	}
+	a.stats.Syncs++
+	if err := a.retry(ctx, func() error { return a.checkin(ctx) }); err != nil {
+		return applied, err
+	}
+	return applied, nil
+}
+
+// Run polls until the context is cancelled, sleeping interval (with
+// ±50% jitter) between sync cycles. Sync errors are counted and the
+// loop continues; the only exit is context cancellation, whose cause
+// is returned as nil for a clean ctx.Done.
+func (a *Agent) Run(ctx context.Context, interval time.Duration) error {
+	for {
+		if _, err := a.SyncOnce(ctx); err != nil && ctx.Err() != nil {
+			return nil
+		}
+		d := interval/2 + time.Duration(a.rng.Int63n(int64(interval)))
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package fleet
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autovac/internal/core"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// analyzedPack runs the real pipeline over specs covering all three
+// deployable identifier classes, so agent tests exercise the same
+// deploy machinery (slice replay, pattern interception) a fleet would.
+func analyzedPack(t *testing.T) []vaccine.Vaccine {
+	t.Helper()
+	pipeline := core.New(core.Config{Seed: 42})
+	var vs []vaccine.Vaccine
+	for _, spec := range []*malware.Spec{
+		{Name: "flt-static", Category: malware.Worm, Behaviors: []malware.Behavior{
+			{Kind: malware.BehMarkerMutex, ID: "FLT.STATIC.1"},
+			{Kind: malware.BehNetworkCC, ID: "a.example", Aux: "445", Count: 1},
+		}},
+		{Name: "flt-algo", Category: malware.Worm, Behaviors: []malware.Behavior{
+			{Kind: malware.BehAlgoMutex, ID: `Global\%s-77`},
+			{Kind: malware.BehNetworkCC, ID: "b.example", Aux: "445", Count: 1},
+		}},
+		{Name: "flt-partial", Category: malware.Worm, Behaviors: []malware.Behavior{
+			{Kind: malware.BehPartialMutex, ID: "FLTPART"},
+			{Kind: malware.BehNetworkCC, ID: "c.example", Aux: "445", Count: 1},
+		}},
+	} {
+		sample := &malware.Sample{Spec: spec, Program: malware.MustEmit(spec)}
+		res, err := pipeline.Analyze(sample)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, res.Vaccines...)
+	}
+	if len(vs) < 3 {
+		t.Fatalf("only %d vaccines generated", len(vs))
+	}
+	return vs
+}
+
+func newTestAgent(ts *httptest.Server, name string) *Agent {
+	id := winenv.DefaultIdentity()
+	id.ComputerName = name
+	return NewAgent(AgentConfig{
+		BaseURL:     ts.URL,
+		Env:         winenv.New(id),
+		Seed:        42,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  5 * time.Millisecond,
+	})
+}
+
+func TestAgentSyncApplyCheckin(t *testing.T) {
+	srv, ts := newTestServer(t)
+	pack := analyzedPack(t)
+	srv.Registry().Publish(pack...)
+
+	a := newTestAgent(ts, "AGENT-PC-01")
+	applied, err := a.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 || a.Version() != srv.Registry().Latest() {
+		t.Fatalf("applied %d, version %d (latest %d)", applied, a.Version(), srv.Registry().Latest())
+	}
+	if a.Daemon().VaccineCount() != len(pack) {
+		t.Fatalf("daemon holds %d vaccines, want %d", a.Daemon().VaccineCount(), len(pack))
+	}
+	// The static mutex vaccine materialised on the host.
+	if !a.Env().Exists(winenv.KindMutex, "FLT.STATIC.1") {
+		t.Fatal("static vaccine resource not injected")
+	}
+	// The heartbeat landed.
+	st := srv.Registry().Fleet(time.Minute, time.Now())
+	if st.ActiveHosts != 1 || st.Converged != 1 || st.Installed != len(pack) {
+		t.Fatalf("fleet status after checkin %+v", st)
+	}
+
+	// Steady state: next sync is a 304, nothing reinstalled.
+	if _, err := a.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := a.Stats()
+	if stats.NotModified != 1 || stats.Deltas != 1 || stats.Checkins != 2 {
+		t.Fatalf("agent stats %+v", stats)
+	}
+}
+
+func TestAgentDeltaSyncInstallsOnlyNew(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("d1", 3)...)
+	a := newTestAgent(ts, "AGENT-PC-02")
+	ctx := context.Background()
+	if _, err := a.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv.Registry().Publish(testVaccines("d2", 2)...)
+	applied, err := a.SyncOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 {
+		t.Fatalf("second sync applied %d, want 2 (delta only)", applied)
+	}
+	stats := a.Stats()
+	if stats.Applied != 5 || stats.Skipped != 0 || stats.Deltas != 2 {
+		t.Fatalf("agent stats %+v", stats)
+	}
+	if a.Version() != 5 {
+		t.Fatalf("agent version %d, want 5", a.Version())
+	}
+}
+
+// flakyFront fails the first n requests with 500, then delegates.
+type flakyFront struct {
+	next  http.Handler
+	fails atomic.Int64
+}
+
+func (f *flakyFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.fails.Add(-1) >= 0 {
+		http.Error(w, "transient", http.StatusInternalServerError)
+		return
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+func TestAgentRetriesTransientFailures(t *testing.T) {
+	srv := NewServer(NewRegistry(0))
+	srv.Registry().Publish(testVaccines("r", 4)...)
+	front := &flakyFront{next: srv.Handler()}
+	front.fails.Store(2)
+	ts := httptest.NewServer(front)
+	defer ts.Close()
+
+	a := newTestAgent(ts, "AGENT-PC-03")
+	applied, err := a.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatalf("sync should survive 2 transient failures: %v", err)
+	}
+	if applied != 4 {
+		t.Fatalf("applied %d, want 4", applied)
+	}
+	if st := a.Stats(); st.Retries != 2 {
+		t.Fatalf("retries %d, want 2", st.Retries)
+	}
+}
+
+func TestAgentBoundedRetriesGiveUp(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	a := newTestAgent(ts, "AGENT-PC-04")
+	if _, err := a.SyncOnce(context.Background()); err == nil {
+		t.Fatal("sync against a dead server should fail")
+	}
+	if st := a.Stats(); st.Retries != DefaultMaxRetries {
+		t.Fatalf("retries %d, want %d", st.Retries, DefaultMaxRetries)
+	}
+}
+
+func TestAgentRunStopsOnCancel(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("run", 2)...)
+	a := newTestAgent(ts, "AGENT-PC-05")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Run(ctx, 2*time.Millisecond) }()
+	time.Sleep(25 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v on clean cancel", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("run did not stop on cancel")
+	}
+	if st := a.Stats(); st.Syncs < 2 {
+		t.Fatalf("run completed only %d syncs", st.Syncs)
+	}
+}

@@ -1,0 +1,113 @@
+// Benchmark harness for the distribution subsystem, following the
+// repo's top-level bench_test.go conventions: deterministic seeds,
+// fixed workload sizes per iteration, b.Fatal on error. Run with:
+//
+//	go test -bench=. -benchmem ./internal/fleet
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benchRegistrySize is the steady-state registry population: the same
+// order of magnitude as the paper's 1,716-sample corpus after fleet
+// dedupe.
+const benchRegistrySize = 1024
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	srv := NewServer(NewRegistry(0))
+	if _, _, err := srv.Registry().Publish(testVaccines("bench", benchRegistrySize)...); err != nil {
+		b.Fatal(err)
+	}
+	return srv
+}
+
+// BenchmarkRegistryDeltaSync measures GET /v1/packs through the full
+// handler stack (instrumentation, delta assembly, digest, JSON) for
+// the three steady-state cases: a cold full sync, a near-tip delta,
+// and the 304 fast path every converged host hits each poll.
+func BenchmarkRegistryDeltaSync(b *testing.B) {
+	srv := benchServer(b)
+	h := srv.Handler()
+	latest := srv.Registry().Latest()
+	cases := []struct {
+		name  string
+		since uint64
+	}{
+		{"full", 0},
+		{"tail16", latest - 16},
+		{"notmodified", latest},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			url := fmt.Sprintf("%s?since=%d", PathPacks, c.since)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest(http.MethodGet, url, nil)
+				w := httptest.NewRecorder()
+				h.ServeHTTP(w, req)
+				if w.Code != http.StatusOK && w.Code != http.StatusNotModified {
+					b.Fatalf("status %d", w.Code)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckin measures POST /v1/checkin with many concurrent
+// hosts heartbeating, the fleet's background load at scale.
+func BenchmarkCheckin(b *testing.B) {
+	srv := benchServer(b)
+	h := srv.Handler()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		host := 0
+		for pb.Next() {
+			host++
+			body := fmt.Sprintf(
+				`{"Host":"BENCH-PC-%04d","Version":%d,"Installed":%d,"Inspected":128,"Intercepted":3}`,
+				host%4096, benchRegistrySize, benchRegistrySize)
+			req := httptest.NewRequest(http.MethodPost, PathCheckin, strings.NewReader(body))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Fatalf("status %d", w.Code)
+			}
+		}
+	})
+	if st := srv.Registry().Fleet(time.Hour, time.Now()); st.ActiveHosts == 0 {
+		b.Fatal("no hosts recorded")
+	}
+}
+
+// BenchmarkRegistryPublish measures direct publish throughput,
+// including the no-op republish fast path.
+func BenchmarkRegistryPublish(b *testing.B) {
+	vs := testVaccines("pub", 256)
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r := NewRegistry(0)
+			if _, n, err := r.Publish(vs...); err != nil || n != len(vs) {
+				b.Fatalf("stored %d err %v", n, err)
+			}
+		}
+	})
+	b.Run("idempotent", func(b *testing.B) {
+		r := NewRegistry(0)
+		r.Publish(vs...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, n, err := r.Publish(vs...); err != nil || n != 0 {
+				b.Fatalf("stored %d err %v", n, err)
+			}
+		}
+	})
+}

@@ -1,0 +1,246 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autovac/internal/vaccine"
+)
+
+// DefaultShards is the registry shard count when NewRegistry is given
+// zero. 16 shards keep write contention negligible for corpus-sized
+// packs while the per-shard high-water version lets delta reads skip
+// untouched shards entirely.
+const DefaultShards = 16
+
+// regEntry is one published vaccine with its publish version.
+type regEntry struct {
+	v       vaccine.Vaccine
+	fp      string // content fingerprint, for idempotent republish
+	version uint64
+}
+
+// regShard is one RWMutex-guarded slice of the vaccine space.
+type regShard struct {
+	mu   sync.RWMutex
+	byID map[string]regEntry
+	// version is the shard's high-water publish version: a delta read
+	// with since >= version skips the shard without touching byID.
+	version uint64
+}
+
+// hostShard is one slice of the host heartbeat table.
+type hostShard struct {
+	mu    sync.Mutex
+	hosts map[string]hostState
+}
+
+// hostState is the last heartbeat from one host.
+type hostState struct {
+	version     uint64
+	installed   int
+	inspected   int
+	intercepted int
+	lastSeen    time.Time
+}
+
+// Registry is the server-side vaccine store: vaccines land in shards
+// keyed by FNV-1a of their ID, every accepted publish gets the next
+// value of a single monotonic version counter, and host heartbeats are
+// tracked in a separately sharded table. All methods are safe for
+// concurrent use.
+type Registry struct {
+	shards    []regShard
+	hostTab   []hostShard
+	version   atomic.Uint64
+	generator atomic.Pointer[string]
+}
+
+// NewRegistry creates a registry with the given shard count (0 means
+// DefaultShards). The count is rounded up to a power of two so shard
+// selection is a mask, not a modulo.
+func NewRegistry(shards int) *Registry {
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	r := &Registry{shards: make([]regShard, n), hostTab: make([]hostShard, n)}
+	for i := range r.shards {
+		r.shards[i].byID = make(map[string]regEntry)
+		r.hostTab[i].hosts = make(map[string]hostState)
+	}
+	g := ""
+	r.generator.Store(&g)
+	return r
+}
+
+// fnv32a is the FNV-1a hash the registry shards on.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (r *Registry) shardFor(id string) *regShard {
+	return &r.shards[fnv32a(id)&uint32(len(r.shards)-1)]
+}
+
+func (r *Registry) hostShardFor(host string) *hostShard {
+	return &r.hostTab[fnv32a(host)&uint32(len(r.hostTab)-1)]
+}
+
+// SetGenerator records the publishing pipeline's label, echoed in
+// sync responses.
+func (r *Registry) SetGenerator(g string) { r.generator.Store(&g) }
+
+// Generator returns the publishing pipeline's label.
+func (r *Registry) Generator() string { return *r.generator.Load() }
+
+// Publish validates and stores a batch of vaccines, assigning each
+// accepted vaccine the next monotonic version. Republishing a vaccine
+// whose content is unchanged is a no-op (no version bump), so
+// periodic full-pack publishes don't force fleet-wide resyncs; a
+// changed vaccine under an existing ID replaces it at a new version.
+// It returns the registry's latest version and the number of vaccines
+// actually (re)stored.
+func (r *Registry) Publish(vs ...vaccine.Vaccine) (uint64, int, error) {
+	stored := 0
+	for i := range vs {
+		v := vs[i]
+		if err := v.Validate(); err != nil {
+			return r.version.Load(), stored, fmt.Errorf("fleet: publish: %w", err)
+		}
+		fp := v.Fingerprint()
+		s := r.shardFor(v.ID)
+		s.mu.Lock()
+		if prev, ok := s.byID[v.ID]; ok && prev.fp == fp {
+			s.mu.Unlock()
+			continue
+		}
+		ver := r.version.Add(1)
+		s.byID[v.ID] = regEntry{v: v, fp: fp, version: ver}
+		s.version = ver
+		s.mu.Unlock()
+		stored++
+	}
+	return r.version.Load(), stored, nil
+}
+
+// Latest returns the registry's latest publish version.
+func (r *Registry) Latest() uint64 { return r.version.Load() }
+
+// Count returns the number of distinct vaccines stored.
+func (r *Registry) Count() int {
+	n := 0
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		n += len(s.byID)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Delta returns every vaccine published after the given version,
+// ordered by ascending version, with the pack digest the server uses
+// as the sync ETag. since=0 yields the complete registry content.
+func (r *Registry) Delta(since uint64) *DeltaResponse {
+	var entries []regEntry
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.RLock()
+		if s.version > since {
+			for _, e := range s.byID {
+				if e.version > since {
+					entries = append(entries, e)
+				}
+			}
+		}
+		s.mu.RUnlock()
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].version < entries[j].version })
+	d := &DeltaResponse{
+		Since:     since,
+		Version:   r.version.Load(),
+		Complete:  since == 0,
+		Generator: r.Generator(),
+		Vaccines:  make([]vaccine.Vaccine, len(entries)),
+	}
+	for i := range entries {
+		d.Vaccines[i] = entries[i].v
+	}
+	p := vaccine.Pack{Generator: d.Generator, Vaccines: d.Vaccines}
+	d.ETag = p.Digest()
+	return d
+}
+
+// Checkin records a host heartbeat and returns the latest registry
+// version as the staleness hint.
+func (r *Registry) Checkin(req CheckinRequest, now time.Time) CheckinResponse {
+	s := r.hostShardFor(req.Host)
+	s.mu.Lock()
+	s.hosts[req.Host] = hostState{
+		version:     req.Version,
+		installed:   req.Installed,
+		inspected:   req.Inspected,
+		intercepted: req.Intercepted,
+		lastSeen:    now,
+	}
+	s.mu.Unlock()
+	return CheckinResponse{Version: r.version.Load()}
+}
+
+// FleetStatus summarises the host heartbeat table.
+type FleetStatus struct {
+	// ActiveHosts counts hosts seen within the window.
+	ActiveHosts int
+	// Converged counts active hosts whose applied version matches the
+	// registry's latest.
+	Converged int
+	// MinVersion is the lowest applied version among active hosts
+	// (0 when no host is active).
+	MinVersion uint64
+	// Installed, Inspected, and Intercepted aggregate the active
+	// hosts' daemon counters.
+	Installed   int
+	Inspected   int
+	Intercepted int
+}
+
+// Fleet reports heartbeat aggregates over hosts seen within the
+// window ending at now.
+func (r *Registry) Fleet(window time.Duration, now time.Time) FleetStatus {
+	latest := r.version.Load()
+	var st FleetStatus
+	cutoff := now.Add(-window)
+	for i := range r.hostTab {
+		s := &r.hostTab[i]
+		s.mu.Lock()
+		for _, h := range s.hosts {
+			if h.lastSeen.Before(cutoff) {
+				continue
+			}
+			st.ActiveHosts++
+			if h.version == latest {
+				st.Converged++
+			}
+			if st.MinVersion == 0 || h.version < st.MinVersion {
+				st.MinVersion = h.version
+			}
+			st.Installed += h.installed
+			st.Inspected += h.inspected
+			st.Intercepted += h.intercepted
+		}
+		s.mu.Unlock()
+	}
+	return st
+}

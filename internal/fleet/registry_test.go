@@ -1,0 +1,222 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// staticVaccine builds a minimal valid static mutex vaccine.
+func staticVaccine(id, ident string) vaccine.Vaccine {
+	return vaccine.Vaccine{
+		ID: id, Sample: "sim", Resource: winenv.KindMutex,
+		Identifier: ident, Class: determinism.Static,
+		Op: "create", API: "CreateMutexA",
+		Effect: impact.Full, Polarity: vaccine.SimulatePresence,
+		Delivery: vaccine.DirectInjection,
+	}
+}
+
+// testVaccines builds n distinct static vaccines with the given prefix.
+func testVaccines(prefix string, n int) []vaccine.Vaccine {
+	vs := make([]vaccine.Vaccine, n)
+	for i := range vs {
+		vs[i] = staticVaccine(
+			fmt.Sprintf("%s/mutex/%d", prefix, i),
+			fmt.Sprintf("%s-MARKER-%04d", prefix, i))
+	}
+	return vs
+}
+
+func TestPublishAssignsMonotonicVersions(t *testing.T) {
+	r := NewRegistry(4)
+	ver, stored, err := r.Publish(testVaccines("w1", 10)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ver != 10 || stored != 10 {
+		t.Fatalf("got version %d stored %d, want 10/10", ver, stored)
+	}
+	d := r.Delta(0)
+	if len(d.Vaccines) != 10 || d.Version != 10 || !d.Complete {
+		t.Fatalf("bad full delta: %d vaccines, version %d, complete %v",
+			len(d.Vaccines), d.Version, d.Complete)
+	}
+}
+
+func TestRepublishUnchangedIsNoOp(t *testing.T) {
+	r := NewRegistry(0)
+	vs := testVaccines("idem", 5)
+	r.Publish(vs...)
+	ver, stored, err := r.Publish(vs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored != 0 || ver != 5 {
+		t.Fatalf("unchanged republish stored %d, version %d; want 0, 5", stored, ver)
+	}
+	// Changing one vaccine's content bumps only that vaccine.
+	vs[2].Identifier = "idem-CHANGED"
+	ver, stored, _ = r.Publish(vs...)
+	if stored != 1 || ver != 6 {
+		t.Fatalf("changed republish stored %d, version %d; want 1, 6", stored, ver)
+	}
+	if d := r.Delta(5); len(d.Vaccines) != 1 || d.Vaccines[0].Identifier != "idem-CHANGED" {
+		t.Fatalf("delta after republish wrong: %+v", d.Vaccines)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("count %d after in-place update, want 5", r.Count())
+	}
+}
+
+func TestPublishRejectsInvalid(t *testing.T) {
+	r := NewRegistry(0)
+	bad := staticVaccine("bad/mutex/0", "")
+	if _, _, err := r.Publish(bad); err == nil {
+		t.Fatal("invalid vaccine accepted")
+	}
+}
+
+func TestDeltaOrderedAndEtagStable(t *testing.T) {
+	r := NewRegistry(8)
+	r.Publish(testVaccines("e", 20)...)
+	d1, d2 := r.Delta(0), r.Delta(0)
+	if d1.ETag != d2.ETag {
+		t.Fatal("delta ETag unstable across identical reads")
+	}
+	for i := 1; i < len(d1.Vaccines); i++ {
+		// Identifiers embed a zero-padded publish index, so version
+		// order must equal identifier order.
+		if d1.Vaccines[i-1].Identifier >= d1.Vaccines[i].Identifier {
+			t.Fatalf("delta not in version order at %d", i)
+		}
+	}
+	tail := r.Delta(15)
+	if len(tail.Vaccines) != 5 || tail.Complete {
+		t.Fatalf("tail delta: %d vaccines, complete %v", len(tail.Vaccines), tail.Complete)
+	}
+	if tail.ETag == d1.ETag {
+		t.Fatal("tail delta shares ETag with full pack")
+	}
+}
+
+func TestCheckinAndFleetStatus(t *testing.T) {
+	r := NewRegistry(0)
+	r.Publish(testVaccines("f", 3)...)
+	now := time.Now()
+	r.Checkin(CheckinRequest{Host: "A", Version: 3, Installed: 3, Inspected: 10, Intercepted: 2}, now)
+	r.Checkin(CheckinRequest{Host: "B", Version: 2, Installed: 2}, now)
+	r.Checkin(CheckinRequest{Host: "STALE", Version: 1}, now.Add(-time.Hour))
+	st := r.Fleet(time.Minute, now)
+	if st.ActiveHosts != 2 || st.Converged != 1 || st.MinVersion != 2 {
+		t.Fatalf("fleet status %+v", st)
+	}
+	if st.Intercepted != 2 || st.Installed != 5 {
+		t.Fatalf("fleet aggregates %+v", st)
+	}
+	// A re-checkin replaces, not duplicates.
+	resp := r.Checkin(CheckinRequest{Host: "B", Version: 3, Installed: 3}, now)
+	if resp.Version != 3 {
+		t.Fatalf("checkin ack version %d, want 3", resp.Version)
+	}
+	if st := r.Fleet(time.Minute, now); st.ActiveHosts != 2 || st.Converged != 2 {
+		t.Fatalf("fleet status after update %+v", st)
+	}
+}
+
+// TestConcurrentRegistryAccess races ≥100 goroutines mixing publishes,
+// delta reads, and check-ins, then asserts no update was lost and the
+// version stream is dense and monotonic. Run under -race.
+func TestConcurrentRegistryAccess(t *testing.T) {
+	const (
+		publishers = 40
+		readers    = 40
+		checkers   = 40
+		perWorker  = 25
+	)
+	r := NewRegistry(0)
+	now := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := staticVaccine(
+					fmt.Sprintf("pub%d/mutex/%d", p, i),
+					fmt.Sprintf("PUB%d-MARKER-%d", p, i))
+				if _, _, err := r.Publish(v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var lastVer uint64
+			since := uint64(g % 7)
+			for i := 0; i < perWorker; i++ {
+				d := r.Delta(since)
+				if d.Version < lastVer {
+					t.Errorf("reader %d: version went backwards %d -> %d", g, lastVer, d.Version)
+					return
+				}
+				lastVer = d.Version
+				seen := make(map[string]bool, len(d.Vaccines))
+				for _, v := range d.Vaccines {
+					if seen[v.ID] {
+						t.Errorf("reader %d: duplicate %s in one delta", g, v.ID)
+						return
+					}
+					seen[v.ID] = true
+				}
+			}
+		}(g)
+	}
+	for c := 0; c < checkers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Checkin(CheckinRequest{
+					Host:    fmt.Sprintf("HOST-%d", c),
+					Version: uint64(i),
+				}, now)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	const want = publishers * perWorker
+	if got := r.Latest(); got != want {
+		t.Fatalf("final version %d, want %d (every publish must get a version)", got, want)
+	}
+	d := r.Delta(0)
+	if len(d.Vaccines) != want {
+		t.Fatalf("lost updates: %d vaccines stored, want %d", len(d.Vaccines), want)
+	}
+	if st := r.Fleet(time.Minute, now); st.ActiveHosts != checkers {
+		t.Fatalf("active hosts %d, want %d", st.ActiveHosts, checkers)
+	}
+}
+
+func TestShardRoundingAndSkip(t *testing.T) {
+	r := NewRegistry(5) // rounds up to 8
+	if len(r.shards) != 8 {
+		t.Fatalf("shard count %d, want 8", len(r.shards))
+	}
+	r.Publish(testVaccines("s", 16)...)
+	// A since at the latest version returns an empty delta.
+	if d := r.Delta(r.Latest()); len(d.Vaccines) != 0 {
+		t.Fatalf("empty delta has %d vaccines", len(d.Vaccines))
+	}
+}

@@ -1,0 +1,179 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// DefaultActiveWindow is how recently a host must have checked in to
+// count as active in metrics and fleet status.
+const DefaultActiveWindow = 2 * time.Minute
+
+// checkinBodyLimit bounds heartbeat bodies; a CheckinRequest is a few
+// hundred bytes.
+const checkinBodyLimit = 1 << 16
+
+// Server serves the sync protocol for one registry.
+type Server struct {
+	reg     *Registry
+	metrics *Metrics
+	mux     *http.ServeMux
+	// ActiveWindow is the heartbeat freshness window for fleet
+	// status; set before serving (default DefaultActiveWindow).
+	ActiveWindow time.Duration
+	// now is the clock, injectable for tests.
+	now func() time.Time
+}
+
+// NewServer creates a sync server over a registry.
+func NewServer(reg *Registry) *Server {
+	s := &Server{
+		reg:          reg,
+		metrics:      &Metrics{},
+		mux:          http.NewServeMux(),
+		ActiveWindow: DefaultActiveWindow,
+		now:          time.Now,
+	}
+	s.mux.HandleFunc(PathPacks, s.handlePacks)
+	s.mux.HandleFunc(PathCheckin, s.handleCheckin)
+	s.mux.HandleFunc(PathMetrics, s.handleMetrics)
+	return s
+}
+
+// Handler returns the instrumented HTTP handler.
+func (s *Server) Handler() http.Handler { return instrument(s.metrics, s.mux) }
+
+// Registry returns the served registry.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// MetricsSnapshot captures the counters plus registry and fleet
+// status — the same content GET /v1/metrics serves.
+func (s *Server) MetricsSnapshot() MetricsSnapshot {
+	snap := s.metrics.snapshot()
+	snap.Version = s.reg.Latest()
+	snap.Vaccines = s.reg.Count()
+	fl := s.reg.Fleet(s.ActiveWindow, s.now())
+	snap.ActiveHosts = fl.ActiveHosts
+	snap.Converged = fl.Converged
+	snap.MinVersion = fl.MinVersion
+	return snap
+}
+
+// statusWriter counts the status and body bytes of one response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with the request/latency/bytes counters.
+func instrument(m *Metrics, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		m.requests.Add(1)
+		m.bytesOut.Add(uint64(sw.bytes))
+		if sw.status >= 400 {
+			m.errors.Add(1)
+		}
+		m.latency.observe(time.Since(start))
+	})
+}
+
+// handlePacks serves GET /v1/packs?since=<version>: the delta of
+// vaccines published after <version>, or 304 when the client is
+// already current (by version or by ETag).
+func (s *Server) handlePacks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	since := uint64(0)
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			http.Error(w, "bad since", http.StatusBadRequest)
+			return
+		}
+		since = v
+	}
+	latest := s.reg.Latest()
+	if since >= latest && latest > 0 {
+		// Nothing published past the client's version: cheap 304
+		// without materialising a delta.
+		w.Header().Set("ETag", fmt.Sprintf(`"v%d"`, latest))
+		w.WriteHeader(http.StatusNotModified)
+		s.metrics.notModified.Add(1)
+		return
+	}
+	delta := s.reg.Delta(since)
+	etag := `"` + delta.ETag + `"`
+	w.Header().Set("ETag", etag)
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		s.metrics.notModified.Add(1)
+		return
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(delta); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.Write(buf.Bytes())
+	s.metrics.deltas.Add(1)
+}
+
+// handleCheckin serves POST /v1/checkin heartbeats.
+func (s *Server) handleCheckin(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req CheckinRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, checkinBodyLimit))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad checkin body", http.StatusBadRequest)
+		return
+	}
+	if req.Host == "" {
+		http.Error(w, "missing host", http.StatusBadRequest)
+		return
+	}
+	resp := s.reg.Checkin(req, s.now())
+	s.metrics.checkins.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics serves GET /v1/metrics.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.MetricsSnapshot())
+}

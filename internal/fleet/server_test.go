@@ -1,0 +1,162 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer returns a Server over a fresh registry and an
+// httptest.Server wrapping its handler.
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(NewRegistry(0))
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getDelta(t *testing.T, base string, since string, etag string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, base+PathPacks+"?since="+since, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestPacksDeltaAndNotModified(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("srv", 6)...)
+
+	resp := getDelta(t, ts.URL, "0", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full sync status %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on 200")
+	}
+	var d DeltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(d.Vaccines) != 6 || d.Version != 6 || !d.Complete {
+		t.Fatalf("bad delta: %+v", d)
+	}
+	if `"`+d.ETag+`"` != etag {
+		t.Fatal("body ETag disagrees with header")
+	}
+
+	// Same content re-requested with the ETag: 304 via If-None-Match.
+	if resp := getDelta(t, ts.URL, "0", etag); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match status %d, want 304", resp.StatusCode)
+	}
+	// Up-to-date version: 304 via the since short-circuit.
+	if resp := getDelta(t, ts.URL, "6", ""); resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("since=latest status %d, want 304", resp.StatusCode)
+	}
+
+	snap := srv.MetricsSnapshot()
+	if snap.DeltasServed != 1 || snap.NotModified != 2 || snap.Requests != 3 {
+		t.Fatalf("metrics %+v", snap)
+	}
+	if snap.BytesServed == 0 {
+		t.Fatal("no bytes counted")
+	}
+}
+
+func TestPacksBadRequests(t *testing.T) {
+	srv, ts := newTestServer(t)
+	if resp := getDelta(t, ts.URL, "notanumber", ""); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since status %d", resp.StatusCode)
+	}
+	resp, err := http.Post(ts.URL+PathPacks, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST packs status %d", resp.StatusCode)
+	}
+	if snap := srv.MetricsSnapshot(); snap.Errors != 2 {
+		t.Fatalf("errors %d, want 2", snap.Errors)
+	}
+}
+
+func TestCheckinEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("chk", 2)...)
+
+	body := `{"Host":"LAB-1","Version":2,"Installed":2,"Inspected":9,"Intercepted":4}`
+	resp, err := http.Post(ts.URL+PathCheckin, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ack CheckinResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || ack.Version != 2 {
+		t.Fatalf("checkin status %d ack %+v", resp.StatusCode, ack)
+	}
+
+	// Missing host is rejected.
+	resp, _ = http.Post(ts.URL+PathCheckin, "application/json", strings.NewReader(`{}`))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty checkin status %d", resp.StatusCode)
+	}
+
+	st := srv.Registry().Fleet(time.Minute, time.Now())
+	if st.ActiveHosts != 1 || st.Intercepted != 4 {
+		t.Fatalf("fleet status %+v", st)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("m", 3)...)
+	getDelta(t, ts.URL, "0", "").Body.Close()
+
+	resp, err := http.Get(ts.URL + PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap MetricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 3 || snap.Vaccines != 3 || snap.DeltasServed != 1 {
+		t.Fatalf("metrics body %+v", snap)
+	}
+}
+
+func TestLatencyHistogramQuantiles(t *testing.T) {
+	var h latencyHist
+	for i := 0; i < 99; i++ {
+		h.observe(10 * time.Microsecond)
+	}
+	h.observe(100 * time.Millisecond)
+	p50, p99 := h.quantile(0.50), h.quantile(0.99)
+	if p50 > 64*time.Microsecond {
+		t.Fatalf("p50 %v too high", p50)
+	}
+	if p99 < p50 {
+		t.Fatalf("p99 %v below p50 %v", p99, p50)
+	}
+	if h.quantile(1.0) < 100*time.Millisecond {
+		t.Fatalf("max quantile %v misses the outlier", h.quantile(1.0))
+	}
+}

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// simSyncBound caps the sync attempts one agent spends converging on
+// one wave; with a quiescent registry a single delta fetch suffices,
+// so hitting the bound means the server is misbehaving.
+const simSyncBound = 10
+
+// SimConfig configures a fleet simulation.
+type SimConfig struct {
+	// Hosts is the number of concurrent agents (default 100).
+	Hosts int
+	// Waves are successive pack publishes: wave 0 lands before the
+	// agents' first sync, later waves are delta-synced.
+	Waves [][]vaccine.Vaccine
+	// Seed drives host identities, slice replay, and backoff jitter.
+	Seed uint64
+	// Generator labels the published packs.
+	Generator string
+	// FailEveryNth injects a 500 on every Nth pack request (0 = off),
+	// exercising the agents' retry path.
+	FailEveryNth int
+	// Identity customises host i's identity; by default hosts are
+	// FLEET-PC-<i> at 10.1.<i/250>.<i%250+1>.
+	Identity func(i int) winenv.HostIdentity
+	// Prepare runs on each freshly created host environment (e.g.
+	// malware.PrepareBenignEnv) before its agent starts.
+	Prepare func(i int, env *winenv.Env)
+	// BaseBackoff overrides the agents' retry backoff base (default
+	// 2ms, kept small so injected failures don't dominate wall time).
+	BaseBackoff time.Duration
+}
+
+// SimResult is the outcome of a fleet simulation.
+type SimResult struct {
+	// Version is the registry's final version.
+	Version uint64
+	// Agents are the simulated hosts' agents, in host order, each
+	// still bound to its environment and daemon for post-simulation
+	// attack replay.
+	Agents []*Agent
+	// Converged counts agents whose applied version is Version.
+	Converged int
+	// Server is the server's final metrics snapshot.
+	Server MetricsSnapshot
+	// Stats aggregates the agents' counters.
+	Stats AgentStats
+}
+
+// flakyHandler fails every Nth pack request with a 500, simulating a
+// lossy path between fleet and server.
+type flakyHandler struct {
+	next     http.Handler
+	everyNth int64
+	packGets atomic.Int64
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.everyNth > 0 && r.URL.Path == PathPacks {
+		if n := f.packGets.Add(1); n%f.everyNth == 0 {
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+	}
+	f.next.ServeHTTP(w, r)
+}
+
+// Simulate drives a fleet of concurrent host agents against one sync
+// server over a loopback listener: it publishes each wave in turn,
+// lets every agent converge to the registry's latest version via
+// delta sync, then has each agent poll once more (the steady-state
+// 304 path) before the next wave. It returns once all waves are
+// distributed and the server is shut down.
+func Simulate(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 100
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 2 * time.Millisecond
+	}
+	reg := NewRegistry(0)
+	reg.SetGenerator(cfg.Generator)
+	srv := NewServer(reg)
+	flaky := &flakyHandler{next: srv.Handler(), everyNth: int64(cfg.FailEveryNth)}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: simulate: %w", err)
+	}
+	hs := &http.Server{Handler: flaky}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		hs.Shutdown(sctx)
+		cancel()
+		<-serveErr
+	}()
+	baseURL := "http://" + ln.Addr().String()
+
+	agents := make([]*Agent, cfg.Hosts)
+	for i := range agents {
+		var id winenv.HostIdentity
+		if cfg.Identity != nil {
+			id = cfg.Identity(i)
+		} else {
+			id = winenv.DefaultIdentity()
+			id.ComputerName = fmt.Sprintf("FLEET-PC-%03d", i)
+			id.IPAddress = fmt.Sprintf("10.1.%d.%d", i/250, i%250+1)
+		}
+		env := winenv.New(id)
+		if cfg.Prepare != nil {
+			cfg.Prepare(i, env)
+		}
+		agents[i] = NewAgent(AgentConfig{
+			BaseURL:     baseURL,
+			Env:         env,
+			Seed:        cfg.Seed + uint64(i),
+			BaseBackoff: cfg.BaseBackoff,
+		})
+	}
+
+	waves := cfg.Waves
+	if len(waves) == 0 {
+		waves = [][]vaccine.Vaccine{nil}
+	}
+	for _, wave := range waves {
+		if _, _, err := reg.Publish(wave...); err != nil {
+			return nil, err
+		}
+		latest := reg.Latest()
+		errs := make(chan error, len(agents))
+		var wg sync.WaitGroup
+		for _, a := range agents {
+			wg.Add(1)
+			go func(a *Agent) {
+				defer wg.Done()
+				for n := 0; a.Version() < latest; n++ {
+					if n >= simSyncBound {
+						errs <- fmt.Errorf("fleet: %s stuck at version %d (latest %d)",
+							a.Host(), a.Version(), latest)
+						return
+					}
+					if _, err := a.SyncOnce(ctx); err != nil {
+						errs <- err
+						return
+					}
+				}
+				// Steady state: one more poll, served as a 304.
+				if _, err := a.SyncOnce(ctx); err != nil {
+					errs <- err
+				}
+			}(a)
+		}
+		wg.Wait()
+		close(errs)
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+
+	res := &SimResult{Version: reg.Latest(), Agents: agents, Server: srv.MetricsSnapshot()}
+	for _, a := range agents {
+		if a.Version() == res.Version {
+			res.Converged++
+		}
+		st := a.Stats()
+		res.Stats.Syncs += st.Syncs
+		res.Stats.Deltas += st.Deltas
+		res.Stats.NotModified += st.NotModified
+		res.Stats.Retries += st.Retries
+		res.Stats.Applied += st.Applied
+		res.Stats.Skipped += st.Skipped
+		res.Stats.Failed += st.Failed
+		res.Stats.Checkins += st.Checkins
+	}
+	return res, nil
+}

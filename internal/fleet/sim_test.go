@@ -1,0 +1,88 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// TestFleetConvergence is the subsystem's acceptance test: one server,
+// 120 concurrent agents, two publish waves, and an injected transport
+// fault every 5th pack request. Every agent must reach the latest
+// registry version via delta sync; the steady-state polls must be
+// served as 304s; the injected faults must be absorbed by retries.
+// Run under -race.
+func TestFleetConvergence(t *testing.T) {
+	const hosts = 120
+	w1 := testVaccines("wave1", 12)
+	w2 := testVaccines("wave2", 8)
+	res, err := Simulate(context.Background(), SimConfig{
+		Hosts:        hosts,
+		Waves:        [][]vaccine.Vaccine{w1, w2},
+		Seed:         7,
+		Generator:    "convergence-test",
+		FailEveryNth: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Version != uint64(len(w1)+len(w2)) {
+		t.Fatalf("final version %d, want %d", res.Version, len(w1)+len(w2))
+	}
+	if res.Converged != hosts {
+		t.Fatalf("%d/%d agents converged", res.Converged, hosts)
+	}
+	if res.Stats.Retries == 0 {
+		t.Fatal("no retry exercised despite injected faults")
+	}
+	// Each agent polls once more per wave after converging: every one
+	// of those must be a 304.
+	if res.Stats.NotModified < hosts {
+		t.Fatalf("only %d not-modified responses, want >= %d", res.Stats.NotModified, hosts)
+	}
+	if res.Server.NotModified < uint64(hosts) {
+		t.Fatalf("server counted %d 304s", res.Server.NotModified)
+	}
+	if res.Server.ActiveHosts != hosts || res.Server.Converged != hosts {
+		t.Fatalf("server fleet view: %d active, %d converged", res.Server.ActiveHosts, res.Server.Converged)
+	}
+	if res.Server.MinVersion != res.Version {
+		t.Fatalf("server min version %d, want %d", res.Server.MinVersion, res.Version)
+	}
+	// Every vaccine landed on every host exactly once.
+	if res.Stats.Applied != hosts*(len(w1)+len(w2)) {
+		t.Fatalf("applied %d installs fleet-wide, want %d", res.Stats.Applied, hosts*(len(w1)+len(w2)))
+	}
+	for _, a := range res.Agents[:3] {
+		if a.Daemon().VaccineCount() != len(w1)+len(w2) {
+			t.Fatalf("host %s holds %d vaccines", a.Host(), a.Daemon().VaccineCount())
+		}
+		if !a.Env().Exists(winenv.KindMutex, "wave2-MARKER-0003") {
+			t.Fatalf("host %s missing a wave-2 vaccine resource", a.Host())
+		}
+	}
+}
+
+func TestSimulateCustomIdentity(t *testing.T) {
+	res, err := Simulate(context.Background(), SimConfig{
+		Hosts: 3,
+		Waves: [][]vaccine.Vaccine{testVaccines("ci", 2)},
+		Seed:  1,
+		Identity: func(i int) winenv.HostIdentity {
+			id := winenv.DefaultIdentity()
+			id.ComputerName = "CUSTOM-" + string(rune('A'+i))
+			return id
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agents[1].Host() != "CUSTOM-B" {
+		t.Fatalf("identity hook ignored: %s", res.Agents[1].Host())
+	}
+	if res.Converged != 3 {
+		t.Fatalf("converged %d/3", res.Converged)
+	}
+}

@@ -1,0 +1,47 @@
+package vaccine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Fingerprint returns a deterministic content hash of the vaccine: the
+// SHA-256 of its canonical JSON encoding, hex-encoded. Go's JSON
+// encoder emits struct fields in declaration order and sorts map keys,
+// so two vaccines with equal content always produce equal fingerprints,
+// and the fingerprint survives a serialisation round trip. Fleet
+// distribution uses it to deduplicate republished vaccines and to build
+// the pack digest served as the sync ETag.
+func (v *Vaccine) Fingerprint() string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Vaccine contains only marshal-safe fields; an error here is a
+		// programming bug, not an input condition.
+		panic(fmt.Sprintf("vaccine: fingerprint %s: %v", v.ID, err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// Digest returns a deterministic content hash of the pack: the SHA-256
+// over the generator label and the sorted vaccine fingerprints. Sorting
+// makes the digest independent of vaccine order, so a pack reassembled
+// from delta syncs in any order digests identically to the original.
+// The distribution server uses it as the HTTP ETag for sync responses.
+func (p *Pack) Digest() string {
+	fps := make([]string, len(p.Vaccines))
+	for i := range p.Vaccines {
+		fps[i] = p.Vaccines[i].Fingerprint()
+	}
+	sort.Strings(fps)
+	h := sha256.New()
+	h.Write([]byte(p.Generator))
+	h.Write([]byte{0})
+	for _, fp := range fps {
+		h.Write([]byte(fp))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

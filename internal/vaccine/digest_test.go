@@ -1,0 +1,77 @@
+package vaccine
+
+import (
+	"bytes"
+	"testing"
+
+	"autovac/internal/determinism"
+	"autovac/internal/isa"
+)
+
+// algoValid returns a valid algorithm-deterministic vaccine carrying a
+// slice, the heaviest payload the digest must cover.
+func algoValid() Vaccine {
+	v := valid()
+	v.ID = "conficker/mutex/0"
+	v.Class = determinism.AlgorithmDeterministic
+	v.Slice = &determinism.Slice{
+		Program:     &isa.Program{Name: "conficker-slice"},
+		ResultAddr:  0x2000,
+		API:         "CreateMutexA",
+		SourceSteps: 17,
+	}
+	return v
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a, b := valid(), valid()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal vaccines produced different fingerprints")
+	}
+	b.Identifier = "OTHER_MUTEX"
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("different vaccines produced equal fingerprints")
+	}
+}
+
+func TestPackDigestOrderIndependent(t *testing.T) {
+	v1, v2 := valid(), algoValid()
+	p1 := Pack{Generator: "g1", Vaccines: []Vaccine{v1, v2}}
+	p2 := Pack{Generator: "g1", Vaccines: []Vaccine{v2, v1}}
+	if p1.Digest() != p2.Digest() {
+		t.Fatal("vaccine order changed the pack digest")
+	}
+	p3 := Pack{Generator: "g2", Vaccines: []Vaccine{v1, v2}}
+	if p1.Digest() == p3.Digest() {
+		t.Fatal("generator label not covered by the pack digest")
+	}
+	empty := Pack{}
+	if empty.Digest() == "" {
+		t.Fatal("empty pack should still digest")
+	}
+}
+
+// TestDigestSurvivesRoundTrip pins the fleet-sync invariant: a pack
+// serialised, shipped, and deserialised on an end host digests
+// identically, so the agent's If-None-Match header matches the server's
+// ETag for unchanged content.
+func TestDigestSurvivesRoundTrip(t *testing.T) {
+	orig := Pack{Generator: "autovac-test", Vaccines: []Vaccine{valid(), algoValid()}}
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPack(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Digest() != orig.Digest() {
+		t.Fatalf("digest changed across round trip:\n  before %s\n  after  %s",
+			orig.Digest(), got.Digest())
+	}
+	for i := range orig.Vaccines {
+		if got.Vaccines[i].Fingerprint() != orig.Vaccines[i].Fingerprint() {
+			t.Fatalf("vaccine %d fingerprint changed across round trip", i)
+		}
+	}
+}
