@@ -1,8 +1,14 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"autovac/internal/vaccine"
@@ -10,7 +16,7 @@ import (
 
 func TestRunFamilyWritesPack(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "zeus.json")
-	if err := run([]string{"-family", "zeus", "-seed", "42", "-out", out}); err != nil {
+	if err := run(context.Background(), []string{"-family", "zeus", "-seed", "42", "-out", out}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -37,23 +43,78 @@ func TestRunFamilyWritesPack(t *testing.T) {
 }
 
 func TestRunSmallCorpusVerbose(t *testing.T) {
-	if err := run([]string{"-corpus", "12", "-seed", "7", "-v"}); err != nil {
+	if err := run(context.Background(), []string{"-corpus", "12", "-seed", "7", "-v"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithClinic(t *testing.T) {
-	if err := run([]string{"-family", "poisonivy", "-clinic", "5"}); err != nil {
+	if err := run(context.Background(), []string{"-family", "poisonivy", "-clinic", "5"}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{}); err == nil {
+	if err := run(context.Background(), []string{}, io.Discard); err == nil {
 		t.Error("no args accepted")
 	}
-	if err := run([]string{"-family", "nosuch"}); err == nil {
+	if err := run(context.Background(), []string{"-family", "nosuch"}, io.Discard); err == nil {
 		t.Error("unknown family accepted")
+	}
+}
+
+// TestRunTimeoutEmitsPartialResults pins the CLI exit contract: a run
+// that hits -timeout returns the error (non-zero exit) but still
+// prints the summary and writes the pack with whatever completed.
+func TestRunTimeoutEmitsPartialResults(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "partial.json")
+	var buf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-corpus", "40", "-timeout", "1ns", "-out", out}, &buf)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	for _, want := range []string{"samples analysed:", "skipped:", "pack written to"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("summary missing %q despite partial failure:\n%s", want, buf.String())
+		}
+	}
+	f, ferr := os.Open(out)
+	if ferr != nil {
+		t.Fatalf("pack not written on partial run: %v", ferr)
+	}
+	defer f.Close()
+	pack, ferr := vaccine.ReadPack(f)
+	if ferr != nil {
+		t.Fatal(ferr)
+	}
+	if pack.Analysis == nil {
+		t.Fatal("pack missing analysis stats")
+	}
+	if pack.Analysis.Skipped == 0 {
+		t.Errorf("a 1ns-timeout run skipped nothing: %+v", pack.Analysis)
+	}
+}
+
+// TestRunWorkerAndBudgetFlags covers the new corpus-control flags on a
+// healthy run: bounded workers and an unexhausted error budget leave
+// the output identical to a plain run.
+func TestRunWorkerAndBudgetFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-corpus", "12", "-seed", "7", "-workers", "2", "-max-errors", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var analysed, total int
+	if _, err := fmt.Sscanf(buf.String(), "samples analysed:  %d/%d", &analysed, &total); err != nil {
+		t.Fatalf("no summary line:\n%s", buf.String())
+	}
+	if analysed != total || analysed == 0 {
+		t.Errorf("analysed %d/%d, want a full run", analysed, total)
+	}
+	if strings.Contains(buf.String(), "failed:") {
+		t.Errorf("healthy run printed a failure line:\n%s", buf.String())
 	}
 }
 

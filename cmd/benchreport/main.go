@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -49,6 +50,11 @@ func run(args []string) error {
 		*all = true
 	}
 
+	// partial collects isolated experiment failures: every completed
+	// table/figure is still rendered, and the joined failures make the
+	// exit non-zero at the end.
+	var partial []error
+
 	start := time.Now()
 	setup, err := experiment.NewSetup(*seed, *n)
 	if err != nil {
@@ -77,7 +83,8 @@ func run(args []string) error {
 		t0 := time.Now()
 		st, profs, err := setup.RunPhase1()
 		if err != nil {
-			return err
+			// Per-sample isolation: render what completed, fail at exit.
+			partial = append(partial, err)
 		}
 		stats = st
 		if *all || *phase1 {
@@ -91,7 +98,7 @@ func run(args []string) error {
 		if needPhase2 {
 			g, err := setup.RunPhase2(profs)
 			if err != nil {
-				return err
+				partial = append(partial, err)
 			}
 			gen = g
 			if *all {
@@ -122,14 +129,14 @@ func run(args []string) error {
 		}
 		points, err := setup.Figure4(gen, byName, *bdrCap)
 		if err != nil {
-			return err
+			partial = append(partial, err)
 		}
 		fmt.Println(experiment.RenderFigure4(experiment.SummarizeBDR(points)))
 	}
 	if *all || *table == 7 {
 		rows, err := setup.TableVII(5, 0.45)
 		if err != nil {
-			return err
+			partial = append(partial, err)
 		}
 		fmt.Println(experiment.RenderTableVII(rows))
 	}
@@ -170,15 +177,15 @@ func run(args []string) error {
 	if *ablate {
 		_, profiles, err := setup.RunPhase1()
 		if err != nil {
-			return err
+			partial = append(partial, err)
 		}
 		rep, err := setup.Ablation(profiles)
 		if err != nil {
-			return err
+			partial = append(partial, err)
 		}
 		fmt.Println(experiment.RenderAblation(rep))
 	}
 
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
-	return nil
+	return errors.Join(partial...)
 }

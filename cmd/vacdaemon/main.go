@@ -83,21 +83,15 @@ func runAgent(ctx context.Context, out io.Writer, server, hostname string, inter
 	fmt.Fprintf(out, "vacdaemon: agent %s polling %s every %v\n", agent.Host(), server, interval)
 	probe := 0
 	for {
-		applied, err := agent.SyncOnce(ctx)
+		// Fault isolation per cycle: a hostile pack or probe that
+		// panics must not kill the resident daemon — the cycle's
+		// failure is logged and the next interval retries.
+		err := syncCycle(ctx, out, agent, env, &probe)
 		if err != nil {
 			if ctx.Err() != nil {
 				break
 			}
 			fmt.Fprintf(out, "sync failed (will retry next interval): %v\n", err)
-		} else if applied > 0 {
-			fmt.Fprintf(out, "applied %d vaccines (version %d, %d installed)\n",
-				applied, agent.Version(), agent.Daemon().VaccineCount())
-		}
-		// Simulated attack traffic: probe every daemon pattern once.
-		for _, p := range installedPatterns(agent.Daemon()) {
-			probe++
-			env.Do(winenv.Request{Kind: p.kind, Op: winenv.OpCreate,
-				Name: probeName(p.pattern, probe), Principal: "probe"})
 		}
 		t := time.NewTimer(interval)
 		select {
@@ -114,6 +108,31 @@ func runAgent(ctx context.Context, out io.Writer, server, hostname string, inter
 		"vacdaemon: final stats: syncs=%d deltas=%d not_modified=%d retries=%d applied=%d checkins=%d inspected=%d intercepted=%d version=%d\n",
 		st.Syncs, st.Deltas, st.NotModified, st.Retries, st.Applied, st.Checkins,
 		inspected, intercepted, agent.Version())
+	return nil
+}
+
+// syncCycle runs one sync-and-probe cycle with panic containment: a
+// panic anywhere in the cycle comes back as an error.
+func syncCycle(ctx context.Context, out io.Writer, agent *fleet.Agent, env *winenv.Env, probe *int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("cycle panic: %v", r)
+		}
+	}()
+	applied, err := agent.SyncOnce(ctx)
+	if err != nil {
+		return err
+	}
+	if applied > 0 {
+		fmt.Fprintf(out, "applied %d vaccines (version %d, %d installed)\n",
+			applied, agent.Version(), agent.Daemon().VaccineCount())
+	}
+	// Simulated attack traffic: probe every daemon pattern once.
+	for _, p := range installedPatterns(agent.Daemon()) {
+		*probe++
+		env.Do(winenv.Request{Kind: p.kind, Op: winenv.OpCreate,
+			Name: probeName(p.pattern, *probe), Principal: "probe"})
+	}
 	return nil
 }
 

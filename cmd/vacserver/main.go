@@ -69,6 +69,10 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr st
 		}
 		fmt.Fprintf(out, "published %s: %d vaccines (version %d)\n", path, n, reg.Latest())
 	}
+	if st, ok := reg.Analysis(); ok {
+		fmt.Fprintf(out, "pack analysis health: %d analysed, %d failed (%d panicked), %d skipped\n",
+			st.Analyzed, st.Failed, st.Panicked, st.Skipped)
+	}
 
 	srv := fleet.NewServer(reg)
 	ln, err := net.Listen("tcp", *addr)
@@ -115,7 +119,8 @@ func newFlagSet(out io.Writer) *flag.FlagSet {
 	return fs
 }
 
-// publishPack loads one pack file into the registry.
+// publishPack loads one pack file into the registry, recording the
+// pack's corpus-analysis statistics (when present) for /v1/metrics.
 func publishPack(reg *fleet.Registry, path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -129,6 +134,9 @@ func publishPack(reg *fleet.Registry, path string) (int, error) {
 	_, stored, err := reg.Publish(pack.Vaccines...)
 	if err != nil {
 		return 0, fmt.Errorf("%s: %w", path, err)
+	}
+	if pack.Analysis != nil {
+		reg.RecordAnalysis(*pack.Analysis)
 	}
 	return stored, nil
 }

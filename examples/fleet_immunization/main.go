@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"autovac/internal/core"
 	"autovac/internal/emu"
@@ -62,17 +63,21 @@ func run() error {
 	pipeline := core.New(core.Config{Seed: seed, Index: index})
 
 	// Analyse the whole corpus once (the one-time analysis-side cost).
+	// The corpus run is fault-isolated: a hostile sample that errors or
+	// panics costs only its own vaccines, never the fleet's pack.
+	results, stats, runErr := pipeline.AnalyzeAllContext(context.Background(), corpus, 0)
+	if runErr != nil {
+		fmt.Printf("corpus: %d sample(s) failed analysis (isolated): %v\n", stats.Failed, runErr)
+	}
 	var all []vaccine.Vaccine
-	for _, s := range corpus {
-		res, err := pipeline.Analyze(s)
-		if err != nil {
-			return err
+	for _, res := range results {
+		if res != nil {
+			all = append(all, res.Vaccines...)
 		}
-		all = append(all, res.Vaccines...)
 	}
 	deduped := vaccine.Dedupe(all)
-	fmt.Printf("corpus: %d samples -> %d vaccines, %d after fleet dedupe\n",
-		len(corpus), len(all), len(deduped))
+	fmt.Printf("corpus: %d samples analysed in %v -> %d vaccines, %d after fleet dedupe\n",
+		stats.Analyzed, stats.Wall.Round(time.Millisecond), len(all), len(deduped))
 
 	// Distribute through the fleet subsystem: the analysis site
 	// publishes in two waves (day-one pack, then a later update), and
@@ -94,7 +99,12 @@ func run() error {
 		Prepare: func(i int, env *winenv.Env) { malware.PrepareBenignEnv(env) },
 	})
 	if err != nil {
-		return err
+		// Host failures are isolated too: the rest of the fleet still
+		// converged, so keep going with the survivors.
+		if res == nil {
+			return err
+		}
+		fmt.Printf("fleet sync: %d host(s) failed (isolated): %v\n", res.Failed, err)
 	}
 	fmt.Printf("fleet sync: %d/%d agents converged at version %d (2 waves)\n",
 		res.Converged, machines, res.Version)

@@ -67,9 +67,12 @@ func run() error {
 	daemon := pipeline.NewDaemonFor(host)
 
 	for _, sample := range []*malware.Sample{partialWorm, algoWorm} {
-		res, err := pipeline.Analyze(sample)
+		// SafeAnalyze contains per-sample panics: one hostile sample
+		// costs its own vaccines, not the other worm's protection.
+		res, err := pipeline.SafeAnalyze(sample)
 		if err != nil {
-			return err
+			fmt.Printf("skipping %s: analysis failed (isolated): %v\n", sample.Name(), err)
+			continue
 		}
 		for _, v := range res.Vaccines {
 			if err := daemon.Install(v); err != nil {

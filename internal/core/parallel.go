@@ -1,12 +1,155 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"autovac/internal/malware"
+	"autovac/internal/vaccine"
 )
+
+// The corpus runner's fault-isolation contract (see DESIGN.md §9):
+//
+//   - One hostile sample cannot take down a corpus run. A panic inside
+//     any per-sample analysis is recovered in the worker and converted
+//     to a *SampleError carrying the sample name and the captured
+//     stack; sibling samples are unaffected.
+//   - Finished work is never discarded. Every healthy sample's Result
+//     is returned even when other samples fail; failed samples leave a
+//     nil slot.
+//   - Errors aggregate deterministically. All per-sample failures are
+//     joined (errors.Join) in sample-index order, regardless of worker
+//     count or scheduling — a parallel run reports exactly what a
+//     serial run reports.
+//   - Runs are cancellable. Workers stop picking up new samples as
+//     soon as the context is done; the call returns within one
+//     sample-analysis of cancellation with everything completed so far.
+
+// SampleError is one sample's analysis failure inside a corpus run. It
+// wraps the underlying error (or the recovered panic value) with the
+// sample's identity, so aggregated corpus errors stay attributable.
+type SampleError struct {
+	// Sample is the failing sample's name.
+	Sample string
+	// Index is the sample's position in the corpus.
+	Index int
+	// Panicked reports whether the failure was a recovered panic.
+	Panicked bool
+	// Stack is the goroutine stack captured at recovery (panics only).
+	Stack []byte
+	// Err is the underlying error; for panics it wraps the panic value.
+	Err error
+}
+
+// Error renders the failure with its sample attribution.
+func (e *SampleError) Error() string {
+	return fmt.Sprintf("core: analysing %s: %v", e.Sample, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *SampleError) Unwrap() error { return e.Err }
+
+// RunStats summarizes one corpus run.
+type RunStats struct {
+	// Analyzed counts samples that completed successfully.
+	Analyzed int
+	// Failed counts samples whose analysis returned an error,
+	// including panics.
+	Failed int
+	// Panicked counts the subset of Failed that panicked.
+	Panicked int
+	// Skipped counts samples never started because the run was
+	// cancelled or the error budget was exhausted.
+	Skipped int
+	// SampleTimes holds per-sample wall time, indexed like the corpus
+	// (zero for skipped samples).
+	SampleTimes []time.Duration
+	// Wall is the end-to-end wall time of the run.
+	Wall time.Duration
+}
+
+// MeanSampleTime returns the mean wall time of the samples that ran.
+func (st *RunStats) MeanSampleTime() time.Duration {
+	ran := st.Analyzed + st.Failed
+	if ran == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range st.SampleTimes {
+		sum += d
+	}
+	return sum / time.Duration(ran)
+}
+
+// AnalysisStats converts the run statistics to the portable shape
+// embedded in vaccine packs and served by the fleet's /v1/metrics.
+func (st *RunStats) AnalysisStats() vaccine.AnalysisStats {
+	return vaccine.AnalysisStats{
+		Analyzed:   st.Analyzed,
+		Failed:     st.Failed,
+		Panicked:   st.Panicked,
+		Skipped:    st.Skipped,
+		WallMillis: st.Wall.Milliseconds(),
+	}
+}
+
+// CorpusOptions parameterizes AnalyzeCorpus.
+type CorpusOptions struct {
+	// Workers bounds the worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// MaxErrors stops dispatching new samples once this many have
+	// failed (0 = no budget; the run always drains every sample).
+	// Samples already in flight still finish and are reported.
+	MaxErrors int
+}
+
+// analyzeTestHook, when set, runs at the start of every per-sample
+// analysis inside the worker's recovery scope. Tests use it to inject
+// deterministic errors and panics into corpus runs.
+var analyzeTestHook func(s *malware.Sample) error
+
+// SafeAnalyze runs Analyze with panic containment: a panic anywhere in
+// the per-sample analysis is recovered and returned as a *SampleError
+// carrying the sample name and the captured stack. Index is recorded
+// as -1; corpus runs use their own per-index wrapper.
+func (p *Pipeline) SafeAnalyze(s *malware.Sample) (*Result, error) {
+	return p.analyzeIsolated(s, -1)
+}
+
+// analyzeIsolated is the fault-isolation boundary around one sample.
+func (p *Pipeline) analyzeIsolated(s *malware.Sample, index int) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = &SampleError{
+				Sample:   s.Name(),
+				Index:    index,
+				Panicked: true,
+				Stack:    debug.Stack(),
+				Err:      fmt.Errorf("panic: %v", r),
+			}
+		}
+	}()
+	if analyzeTestHook != nil {
+		if herr := analyzeTestHook(s); herr != nil {
+			return nil, &SampleError{Sample: s.Name(), Index: index, Err: herr}
+		}
+	}
+	res, err = p.Analyze(s)
+	if err != nil {
+		var se *SampleError
+		if !errors.As(err, &se) {
+			err = &SampleError{Sample: s.Name(), Index: index, Err: err}
+		}
+	}
+	return res, err
+}
 
 // AnalyzeAll analyses a corpus with a bounded worker pool. The pipeline
 // is immutable and every execution builds its own environment, so
@@ -14,52 +157,112 @@ import (
 // sample, identical to a serial run (workers only change wall-clock
 // time, never output — the determinism tests pin this).
 //
-// workers <= 0 selects GOMAXPROCS. The first error cancels nothing
-// in-flight but is reported after all workers drain (partial results
-// are discarded on error).
+// workers <= 0 selects GOMAXPROCS. Failures are isolated per sample: a
+// panicking or erroring sample yields a nil Result slot while every
+// healthy sample's Result is returned, and the error aggregates all
+// per-sample failures (errors.Join of *SampleError) ordered by sample
+// index — serial and parallel runs report identical errors. An empty
+// corpus returns ([]*Result{}, nil).
 func (p *Pipeline) AnalyzeAll(samples []*malware.Sample, workers int) ([]*Result, error) {
+	results, _, err := p.AnalyzeAllContext(context.Background(), samples, workers)
+	return results, err
+}
+
+// AnalyzeAllContext is AnalyzeAll with cancellation: workers stop
+// picking up new samples once ctx is done (in-flight samples finish),
+// so the call returns within one sample-analysis of cancellation with
+// partial results, run statistics, and ctx's error joined last.
+func (p *Pipeline) AnalyzeAllContext(ctx context.Context, samples []*malware.Sample, workers int) ([]*Result, *RunStats, error) {
+	return p.AnalyzeCorpus(ctx, samples, CorpusOptions{Workers: workers})
+}
+
+// AnalyzeCorpus is the full-control corpus entry point: bounded
+// workers, cancellation, an optional error budget, per-sample fault
+// isolation, and run statistics. See the contract at the top of this
+// file. The results slice is always len(samples) with nil slots for
+// failed or skipped samples.
+func (p *Pipeline) AnalyzeCorpus(ctx context.Context, samples []*malware.Sample, opts CorpusOptions) ([]*Result, *RunStats, error) {
+	start := time.Now()
+	stats := &RunStats{SampleTimes: make([]time.Duration, len(samples))}
+	results := make([]*Result, len(samples))
+	if len(samples) == 0 {
+		stats.Wall = time.Since(start)
+		return results, stats, nil
+	}
+
+	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(samples) {
 		workers = len(samples)
 	}
-	if workers <= 1 {
-		// Serial fast path.
-		out := make([]*Result, len(samples))
-		for i, s := range samples {
-			res, err := p.Analyze(s)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = res
-		}
-		return out, nil
-	}
 
-	results := make([]*Result, len(samples))
 	errs := make([]error, len(samples))
-	indexes := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indexes {
-				results[i], errs[i] = p.Analyze(samples[i])
-			}
-		}()
+	var failed atomic.Int64
+	overBudget := func() bool {
+		return opts.MaxErrors > 0 && failed.Load() >= int64(opts.MaxErrors)
 	}
-	for i := range samples {
-		indexes <- i
-	}
-	close(indexes)
-	wg.Wait()
-
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: analysing %s: %w", samples[i].Name(), err)
+	// runOne is shared by the serial and parallel paths so their
+	// semantics cannot drift.
+	runOne := func(i int) {
+		t0 := time.Now()
+		results[i], errs[i] = p.analyzeIsolated(samples[i], i)
+		stats.SampleTimes[i] = time.Since(t0)
+		if errs[i] != nil {
+			failed.Add(1)
 		}
 	}
-	return results, nil
+
+	if workers <= 1 {
+		for i := range samples {
+			if ctx.Err() != nil || overBudget() {
+				break
+			}
+			runOne(i)
+		}
+	} else {
+		// Work distribution by atomic counter: no producer goroutine,
+		// no channel to deadlock on — nothing a dying or slow worker
+		// can wedge. Workers claim the next index until the corpus is
+		// drained, the context is cancelled, or the error budget is
+		// exhausted.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(samples) || ctx.Err() != nil || overBudget() {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	var joined []error
+	for i := range samples {
+		if errs[i] != nil {
+			stats.Failed++
+			var se *SampleError
+			if errors.As(errs[i], &se) && se.Panicked {
+				stats.Panicked++
+			}
+			joined = append(joined, errs[i])
+		} else if results[i] != nil {
+			stats.Analyzed++
+		} else {
+			stats.Skipped++
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		joined = append(joined, err)
+	}
+	stats.Wall = time.Since(start)
+	return results, stats, errors.Join(joined...)
 }

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -30,51 +31,69 @@ type AblationReport struct {
 	// GreedyDisagreements counts pairs where greedy and LCS produce a
 	// different primary effect.
 	GreedyDisagreements int
+	// Failed counts (candidate, mutation) pairs whose classification
+	// errored or panicked; the survivors are still tallied.
+	Failed int
 }
 
 // Ablation classifies every Phase-I candidate of every profile under
-// the three analysis variants and tallies the differences.
+// the three analysis variants and tallies the differences. Failures
+// are isolated per candidate: a hostile sample's candidate that errors
+// or panics is counted in Failed and joined into the returned error,
+// while every other candidate is still classified.
 func (s *Setup) Ablation(profiles []*core.Profile) (*AblationReport, error) {
 	rep := &AblationReport{}
+	var failures []error
 	for _, prof := range profiles {
 		for _, cand := range prof.Candidates {
-			call := cand.Call
-			mode := emu.ForceFailure
-			switch call.Op {
-			case winenv.OpOpen.String(), winenv.OpQuery.String(), winenv.OpRead.String():
-				mode = emu.ForceSuccess
-			case winenv.OpCreate.String():
-				mode = emu.ForceAlreadyExists
-			}
-			mutated, err := emu.Run(prof.Sample.Program, winenv.New(s.Pipeline.Identity()), emu.Options{
-				Seed: s.Pipeline.Seed(),
-				Mutations: []emu.Mutation{{
-					API: call.API, CallerPC: call.CallerPC,
-					Identifier: call.Identifier, Mode: mode,
-				}},
-			})
+			err := guard(func() error { return s.ablateOne(rep, prof, cand) })
 			if err != nil {
-				return nil, fmt.Errorf("experiment: ablation %s: %w", prof.Sample.Name(), err)
-			}
-			rep.CandidatesTested++
-			base := impact.ClassifyWith(mutated, prof.Normal, impact.Options{})
-			noFlips := impact.ClassifyWith(mutated, prof.Normal, impact.Options{DisableFlips: true})
-			greedy := impact.ClassifyWith(mutated, prof.Normal, impact.Options{Greedy: true})
-			if base.Immunizing() {
-				rep.ImmunizingLCSFlips++
-			}
-			if noFlips.Immunizing() {
-				rep.ImmunizingLCSNoFlips++
-			}
-			if greedy.Immunizing() {
-				rep.ImmunizingGreedyFlips++
-			}
-			if greedy.Primary != base.Primary {
-				rep.GreedyDisagreements++
+				rep.Failed++
+				failures = append(failures, fmt.Errorf("experiment: ablation %s: %w", prof.Sample.Name(), err))
 			}
 		}
 	}
-	return rep, nil
+	return rep, errors.Join(failures...)
+}
+
+// ablateOne classifies a single (candidate, mutation) pair under the
+// three analysis variants.
+func (s *Setup) ablateOne(rep *AblationReport, prof *core.Profile, cand core.Candidate) error {
+	call := cand.Call
+	mode := emu.ForceFailure
+	switch call.Op {
+	case winenv.OpOpen.String(), winenv.OpQuery.String(), winenv.OpRead.String():
+		mode = emu.ForceSuccess
+	case winenv.OpCreate.String():
+		mode = emu.ForceAlreadyExists
+	}
+	mutated, err := emu.Run(prof.Sample.Program, winenv.New(s.Pipeline.Identity()), emu.Options{
+		Seed: s.Pipeline.Seed(),
+		Mutations: []emu.Mutation{{
+			API: call.API, CallerPC: call.CallerPC,
+			Identifier: call.Identifier, Mode: mode,
+		}},
+	})
+	if err != nil {
+		return err
+	}
+	rep.CandidatesTested++
+	base := impact.ClassifyWith(mutated, prof.Normal, impact.Options{})
+	noFlips := impact.ClassifyWith(mutated, prof.Normal, impact.Options{DisableFlips: true})
+	greedy := impact.ClassifyWith(mutated, prof.Normal, impact.Options{Greedy: true})
+	if base.Immunizing() {
+		rep.ImmunizingLCSFlips++
+	}
+	if noFlips.Immunizing() {
+		rep.ImmunizingLCSNoFlips++
+	}
+	if greedy.Immunizing() {
+		rep.ImmunizingGreedyFlips++
+	}
+	if greedy.Primary != base.Primary {
+		rep.GreedyDisagreements++
+	}
+	return nil
 }
 
 // RenderAblation renders the ablation results.
@@ -86,5 +105,8 @@ func RenderAblation(rep *AblationReport) string {
 	fmt.Fprintf(&b, "immunizing (LCS, no flips):          %d\n", rep.ImmunizingLCSNoFlips)
 	fmt.Fprintf(&b, "immunizing (greedy Algorithm 1):     %d\n", rep.ImmunizingGreedyFlips)
 	fmt.Fprintf(&b, "greedy vs LCS primary disagreements: %d\n", rep.GreedyDisagreements)
+	if rep.Failed > 0 {
+		fmt.Fprintf(&b, "candidates failed (isolated):        %d\n", rep.Failed)
+	}
 	return b.String()
 }

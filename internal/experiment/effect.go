@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -24,10 +25,13 @@ type BDRPoint struct {
 
 // Figure4 measures BDR for the generated vaccines, bucketed by effect
 // type (§VI-E, Figure 4). maxPerEffect bounds the number of vaccines
-// measured per effect class (0 = no bound).
+// measured per effect class (0 = no bound). Failures are isolated per
+// vaccine: a measurement that errors or panics is joined into the
+// returned error while every other vaccine's point is still returned.
 func (s *Setup) Figure4(st *GenStats, samplesByName map[string]*malware.Sample, maxPerEffect int) ([]BDRPoint, error) {
 	perEffect := make(map[impact.Effect]int)
 	var points []BDRPoint
+	var failures []error
 	for i := range st.Vaccines {
 		v := &st.Vaccines[i]
 		if maxPerEffect > 0 && perEffect[v.Effect] >= maxPerEffect {
@@ -37,16 +41,22 @@ func (s *Setup) Figure4(st *GenStats, samplesByName map[string]*malware.Sample, 
 		if sm == nil {
 			continue
 		}
-		bdr, err := s.Pipeline.MeasureBDR(sm, v)
+		var bdr float64
+		err := guard(func() error {
+			var err error
+			bdr, err = s.Pipeline.MeasureBDR(sm, v)
+			return err
+		})
 		if err != nil {
-			return nil, fmt.Errorf("experiment: bdr %s: %w", v.ID, err)
+			failures = append(failures, fmt.Errorf("experiment: bdr %s: %w", v.ID, err))
+			continue
 		}
 		perEffect[v.Effect]++
 		points = append(points, BDRPoint{
 			VaccineID: v.ID, Sample: v.Sample, Effect: v.Effect, BDR: bdr,
 		})
 	}
-	return points, nil
+	return points, errors.Join(failures...)
 }
 
 // BDRSummary summarizes Figure 4 per effect class.
@@ -99,50 +109,70 @@ type TableVIIRow struct {
 // 82% overall success; some variants drop a behaviour, so some
 // vaccine×variant pairs fail — exactly like the Zeus variants that no
 // longer used sdra64.exe).
+// Families are isolated from each other: a family whose analysis or
+// variant replay fails (error or panic) is skipped — its failure joined
+// into the returned error — while every other family's row is returned.
 func (s *Setup) TableVII(variantsPerFamily int, dropProb float64) ([]TableVIIRow, error) {
 	var rows []TableVIIRow
+	var failures []error
 	for _, fam := range malware.Families() {
-		canonical, err := s.Generator.FamilySample(fam)
+		var row TableVIIRow
+		err := guard(func() error {
+			var err error
+			row, err = s.tableVIIFamily(fam, variantsPerFamily, dropProb)
+			return err
+		})
 		if err != nil {
-			return nil, err
-		}
-		res, err := s.Pipeline.Analyze(canonical)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: analyze %s: %w", fam, err)
-		}
-		variants, err := s.Generator.Variants(canonical, variantsPerFamily, dropProb)
-		if err != nil {
-			return nil, err
-		}
-		row := TableVIIRow{
-			Family:     fam,
-			VaccineN:   len(res.Vaccines),
-			Types:      vaccineTypes(res.Vaccines),
-			IdealCases: len(res.Vaccines) * len(variants),
-		}
-		for _, variant := range variants {
-			// Natural variant behaviour.
-			normal, err := emu.Run(variant.Program, winenv.New(s.Pipeline.Identity()),
-				emu.Options{Seed: s.Pipeline.Seed()})
-			if err != nil {
-				return nil, err
-			}
-			for i := range res.Vaccines {
-				ok, err := s.vaccineWorksOn(variant, &res.Vaccines[i], normal)
-				if err != nil {
-					return nil, err
-				}
-				if ok {
-					row.Verified++
-				}
-			}
-		}
-		if row.IdealCases > 0 {
-			row.SuccessRate = float64(row.Verified) / float64(row.IdealCases)
+			failures = append(failures, fmt.Errorf("experiment: table VII %s: %w", fam, err))
+			continue
 		}
 		rows = append(rows, row)
 	}
-	return rows, nil
+	return rows, errors.Join(failures...)
+}
+
+// tableVIIFamily runs the variant experiment for one family.
+func (s *Setup) tableVIIFamily(fam malware.Family, variantsPerFamily int, dropProb float64) (TableVIIRow, error) {
+	var row TableVIIRow
+	canonical, err := s.Generator.FamilySample(fam)
+	if err != nil {
+		return row, err
+	}
+	res, err := s.Pipeline.SafeAnalyze(canonical)
+	if err != nil {
+		return row, fmt.Errorf("analyze: %w", err)
+	}
+	variants, err := s.Generator.Variants(canonical, variantsPerFamily, dropProb)
+	if err != nil {
+		return row, err
+	}
+	row = TableVIIRow{
+		Family:     fam,
+		VaccineN:   len(res.Vaccines),
+		Types:      vaccineTypes(res.Vaccines),
+		IdealCases: len(res.Vaccines) * len(variants),
+	}
+	for _, variant := range variants {
+		// Natural variant behaviour.
+		normal, err := emu.Run(variant.Program, winenv.New(s.Pipeline.Identity()),
+			emu.Options{Seed: s.Pipeline.Seed()})
+		if err != nil {
+			return row, err
+		}
+		for i := range res.Vaccines {
+			ok, err := s.vaccineWorksOn(variant, &res.Vaccines[i], normal)
+			if err != nil {
+				return row, err
+			}
+			if ok {
+				row.Verified++
+			}
+		}
+	}
+	if row.IdealCases > 0 {
+		row.SuccessRate = float64(row.Verified) / float64(row.IdealCases)
+	}
+	return row, nil
 }
 
 // vaccineWorksOn deploys one vaccine and checks whether the variant's
@@ -198,9 +228,14 @@ type FalsePositiveReport struct {
 // shipped vaccines; candidates that would interfere are exactly what
 // the clinic exists to catch).
 func (s *Setup) FalsePositiveTest(vaccines []vaccine.Vaccine) (*FalsePositiveReport, error) {
-	rep, err := clinic.Run(vaccines, s.Benign, clinic.Config{
-		Seed:     s.Pipeline.Seed(),
-		Identity: s.Pipeline.Identity(),
+	var rep *clinic.Report
+	err := guard(func() error {
+		var err error
+		rep, err = clinic.Run(vaccines, s.Benign, clinic.Config{
+			Seed:     s.Pipeline.Seed(),
+			Identity: s.Pipeline.Identity(),
+		})
+		return err
 	})
 	if err != nil {
 		return nil, err

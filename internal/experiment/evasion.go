@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -40,13 +41,15 @@ type RenameEvasionReport struct {
 }
 
 // RenameEvasion runs the §VII identifier-renaming evasion against a
-// family sample.
+// family sample. Per-vaccine replay failures are isolated: a vaccine
+// whose check errors is skipped (its failure joined into the returned
+// error) while the remaining vaccines still populate the report.
 func (s *Setup) RenameEvasion(fam malware.Family) (*RenameEvasionReport, error) {
 	original, err := s.Generator.FamilySample(fam)
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.Pipeline.Analyze(original)
+	res, err := s.Pipeline.SafeAnalyze(original)
 	if err != nil {
 		return nil, err
 	}
@@ -67,35 +70,41 @@ func (s *Setup) RenameEvasion(fam malware.Family) (*RenameEvasionReport, error) 
 	if err != nil {
 		return nil, err
 	}
+	var failures []error
+	check := func(sm *malware.Sample, v *vaccine.Vaccine, normal *trace.Trace) (works bool) {
+		err := guard(func() error {
+			var err error
+			works, err = s.vaccineWorksOn(sm, v, normal)
+			return err
+		})
+		if err != nil {
+			failures = append(failures, fmt.Errorf("experiment: rename evasion %s: %w", v.ID, err))
+		}
+		return works
+	}
 	for i := range res.Vaccines {
-		if ok, err := s.vaccineWorksOn(original, &res.Vaccines[i], normalOrig); err != nil {
-			return nil, err
-		} else if ok {
+		if check(original, &res.Vaccines[i], normalOrig) {
 			rep.OldVaccineWorksOnOriginal = true
 		}
-		if ok, err := s.vaccineWorksOn(renamed, &res.Vaccines[i], normalRen); err != nil {
-			return nil, err
-		} else if ok {
+		if check(renamed, &res.Vaccines[i], normalRen) {
 			rep.OldVaccineWorksOnRenamed = true
 		}
 	}
 
 	// Re-analyse the renamed version (the paper's argument for an
 	// automatic tool: vaccine refresh is cheap).
-	res2, err := s.Pipeline.Analyze(renamed)
+	res2, err := s.Pipeline.SafeAnalyze(renamed)
 	if err != nil {
 		return nil, err
 	}
 	rep.ReanalysisYieldsVaccine = len(res2.Vaccines) > 0
 	for i := range res2.Vaccines {
-		if ok, err := s.vaccineWorksOn(renamed, &res2.Vaccines[i], normalRen); err != nil {
-			return nil, err
-		} else if ok {
+		if check(renamed, &res2.Vaccines[i], normalRen) {
 			rep.NewVaccineWorksOnRenamed = true
 			break
 		}
 	}
-	return rep, nil
+	return rep, errors.Join(failures...)
 }
 
 // CheckDropEvasion builds a variant of a marker-guarded sample with the
@@ -171,7 +180,7 @@ func (s *Setup) ControlDepEvasion() (*ControlDepReport, error) {
 		Spec:    &malware.Spec{Name: "ctrl-dep-worm", Category: malware.Worm},
 		Program: prog,
 	}
-	res, err := s.Pipeline.Analyze(sample)
+	res, err := s.Pipeline.SafeAnalyze(sample)
 	if err != nil {
 		return nil, err
 	}

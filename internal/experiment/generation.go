@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,7 +33,10 @@ type GenStats struct {
 
 // RunPhase2 generates vaccines for every flagged profile. Generation
 // runs on the Setup's worker pool; aggregation is serial and in sample
-// order, so the statistics are worker-count independent.
+// order, so the statistics are worker-count independent. Per-sample
+// failures (errors and panics) are isolated: healthy samples still
+// contribute to the statistics, and the failures come back joined in
+// sample order.
 func (s *Setup) RunPhase2(profiles []*core.Profile) (*GenStats, error) {
 	st := &GenStats{}
 	results := make([]*core.Result, len(profiles))
@@ -41,11 +45,17 @@ func (s *Setup) RunPhase2(profiles []*core.Profile) (*GenStats, error) {
 		if !profiles[i].HasVaccineCandidates() {
 			return
 		}
-		results[i], errs[i] = s.Pipeline.Phase2(profiles[i])
+		errs[i] = guard(func() error {
+			var err error
+			results[i], err = s.Pipeline.Phase2(profiles[i])
+			return err
+		})
 	})
+	var failures []error
 	for i, prof := range profiles {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("experiment: phase2 %s: %w", prof.Sample.Name(), errs[i])
+			failures = append(failures, fmt.Errorf("experiment: phase2 %s: %w", prof.Sample.Name(), errs[i]))
+			continue
 		}
 		res := results[i]
 		if res == nil {
@@ -65,7 +75,7 @@ func (s *Setup) RunPhase2(profiles []*core.Profile) (*GenStats, error) {
 			}
 		}
 	}
-	return st, nil
+	return st, errors.Join(failures...)
 }
 
 // TableIVRow is one row of Table IV: a resource kind with vaccine

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -88,6 +89,9 @@ func (s *Setup) parallelIndexes(n int, work func(i int)) {
 // the per-sample profiles (consumed by the Phase-II experiments).
 // Profiling runs on the Setup's worker pool; aggregation is serial and
 // in sample order, so the statistics are worker-count independent.
+// Failures (errors and panics alike) are isolated per sample: healthy
+// samples are aggregated and returned even when others fail, with the
+// failures joined — in sample order — into the returned error.
 func (s *Setup) RunPhase1() (*Phase1Stats, []*core.Profile, error) {
 	st := &Phase1Stats{
 		ByKindOp: make(map[winenv.ResourceKind]map[winenv.Op]int),
@@ -95,12 +99,18 @@ func (s *Setup) RunPhase1() (*Phase1Stats, []*core.Profile, error) {
 	profs := make([]*core.Profile, len(s.Samples))
 	errs := make([]error, len(s.Samples))
 	s.parallelIndexes(len(s.Samples), func(i int) {
-		profs[i], errs[i] = s.Pipeline.Phase1(s.Samples[i])
+		errs[i] = guard(func() error {
+			var err error
+			profs[i], err = s.Pipeline.Phase1(s.Samples[i])
+			return err
+		})
 	})
 	var profiles []*core.Profile
+	var failures []error
 	for i, sm := range s.Samples {
 		if errs[i] != nil {
-			return nil, nil, fmt.Errorf("experiment: phase1 %s: %w", sm.Name(), errs[i])
+			failures = append(failures, fmt.Errorf("experiment: phase1 %s: %w", sm.Name(), errs[i]))
+			continue
 		}
 		prof := profs[i]
 		st.SamplesRun++
@@ -148,7 +158,7 @@ func (s *Setup) RunPhase1() (*Phase1Stats, []*core.Profile, error) {
 		}
 		profiles = append(profiles, prof)
 	}
-	return st, profiles, nil
+	return st, profiles, errors.Join(failures...)
 }
 
 // parseOp converts an op name back to the enum.

@@ -11,11 +11,25 @@ package experiment
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"autovac/internal/core"
 	"autovac/internal/exclusive"
 	"autovac/internal/malware"
 )
+
+// guard runs one unit of experimental work with panic containment: a
+// panic inside f comes back as an error carrying the captured stack,
+// so one hostile sample cannot take down a whole experiment sweep.
+// Callers wrap the returned error with unit attribution.
+func guard(f func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return f()
+}
 
 // Setup bundles everything the experiments share: the corpus, the
 // benign suite, the exclusiveness index, and a configured pipeline.

@@ -23,6 +23,9 @@ import (
 type Timing struct {
 	// SamplesTimed is the number of samples behind PerSampleAnalysis.
 	SamplesTimed int
+	// SamplesFailed counts samples whose analysis errored or panicked
+	// during the timing sweep; they are excluded from the mean.
+	SamplesFailed int
 	// PerSampleAnalysis is the mean end-to-end Phase-I+II time
 	// (paper: 789 s).
 	PerSampleAnalysis time.Duration
@@ -64,12 +67,14 @@ func (s *Setup) MeasureTiming(sampleBudget int) (*Timing, error) {
 	}
 	start := time.Now()
 	for _, sm := range s.Samples[:n] {
-		if _, err := s.Pipeline.Analyze(sm); err != nil {
-			return nil, err
+		// Per-sample isolation: a failing sample is excluded from the
+		// mean rather than aborting the whole measurement.
+		if _, err := s.Pipeline.SafeAnalyze(sm); err != nil {
+			tm.SamplesFailed++
 		}
 	}
-	tm.SamplesTimed = n
-	tm.PerSampleAnalysis = time.Since(start) / time.Duration(maxInt(n, 1))
+	tm.SamplesTimed = n - tm.SamplesFailed
+	tm.PerSampleAnalysis = time.Since(start) / time.Duration(maxInt(tm.SamplesTimed, 1))
 
 	// Backward slicing on an algorithm-deterministic identifier.
 	spec := &malware.Spec{Name: "timing-algo", Category: malware.Worm,

@@ -66,13 +66,25 @@ type AgentStats struct {
 // slices for algorithm-deterministic vaccines), and heartbeats the
 // applied version back. An Agent is single-goroutine; run many agents
 // for many hosts.
+//
+// Concurrency contract: every mutable field — version, etag, stats,
+// and in particular rng — is owned by the goroutine driving SyncOnce
+// or Run. The retry backoff (after a failed fetch or checkin) and the
+// poll-loop jitter both draw from rng, but always from that one
+// goroutine: checkins are performed inline in SyncOnce, never from a
+// separate goroutine, so the rng is never reached concurrently.
+// TestAgentRNGOwnership pins this under -race.
 type Agent struct {
-	cfg     AgentConfig
-	daemon  *deploy.Daemon
+	cfg    AgentConfig
+	daemon *deploy.Daemon
+	// version and etag track the last applied delta.
 	version uint64
 	etag    string
-	rng     *rand.Rand
-	stats   AgentStats
+	// rng is owned by this agent exclusively (never shared between
+	// agents, never a package-level source): it feeds retry backoff
+	// and Run's poll jitter from the agent's single goroutine.
+	rng   *rand.Rand
+	stats AgentStats
 }
 
 // NewAgent creates an agent bound to a host environment.

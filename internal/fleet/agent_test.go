@@ -2,8 +2,10 @@ package fleet
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -168,6 +170,50 @@ func TestAgentBoundedRetriesGiveUp(t *testing.T) {
 	if st := a.Stats(); st.Retries != DefaultMaxRetries {
 		t.Fatalf("retries %d, want %d", st.Retries, DefaultMaxRetries)
 	}
+}
+
+// TestAgentRNGOwnership pins the Agent concurrency contract documented
+// on the type: each agent owns a private rng (never package-level,
+// never shared between agents), and every draw — retry backoff and
+// poll jitter — happens on the agent's own goroutine. Many agents
+// retrying concurrently against a failing server is exactly the
+// scenario that would trip -race if the rng were ever shared or
+// reached from a second goroutine (e.g. a background checkin).
+func TestAgentRNGOwnership(t *testing.T) {
+	// Distinct agents hold distinct rng instances, even with identical
+	// seeds: sharing one *rand.Rand across hosts would race.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	a, b := newTestAgent(ts, "RNG-PC-01"), newTestAgent(ts, "RNG-PC-02")
+	if a.rng == b.rng {
+		t.Fatal("two agents share one rng instance")
+	}
+
+	// Concurrent retry storm: every sync fails, so every agent draws
+	// backoff jitter from its rng on its own goroutine, repeatedly and
+	// simultaneously. Run under -race this proves no rng is shared.
+	const hosts = 16
+	var wg sync.WaitGroup
+	for i := 0; i < hosts; i++ {
+		ag := newTestAgent(ts, fmt.Sprintf("RNG-PC-%02d", i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 3; n++ {
+				if _, err := ag.SyncOnce(context.Background()); err == nil {
+					t.Error("sync against a dead server succeeded")
+					return
+				}
+			}
+			if st := ag.Stats(); st.Retries != 3*DefaultMaxRetries {
+				t.Errorf("retries %d, want %d (every retry draws from the rng)",
+					st.Retries, 3*DefaultMaxRetries)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func TestAgentRunStopsOnCancel(t *testing.T) {

@@ -3,6 +3,8 @@ package fleet
 import (
 	"sync/atomic"
 	"time"
+
+	"autovac/internal/vaccine"
 )
 
 // latBuckets is the histogram resolution: bucket i counts handler
@@ -87,6 +89,10 @@ type MetricsSnapshot struct {
 	ActiveHosts int
 	Converged   int
 	MinVersion  uint64
+	// Analysis, when present, is the accumulated corpus-analysis
+	// health of the published packs (samples analysed, failed,
+	// panicked, skipped, and analysis wall time).
+	Analysis *vaccine.AnalysisStats `json:",omitempty"`
 }
 
 // snapshot captures the counters.

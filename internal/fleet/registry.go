@@ -57,6 +57,12 @@ type Registry struct {
 	hostTab   []hostShard
 	version   atomic.Uint64
 	generator atomic.Pointer[string]
+
+	// analysisMu guards analysis, the accumulated corpus-analysis
+	// statistics of every pack published with them.
+	analysisMu  sync.Mutex
+	analysis    vaccine.AnalysisStats
+	analysisSet bool
 }
 
 // NewRegistry creates a registry with the given shard count (0 means
@@ -104,6 +110,24 @@ func (r *Registry) SetGenerator(g string) { r.generator.Store(&g) }
 
 // Generator returns the publishing pipeline's label.
 func (r *Registry) Generator() string { return *r.generator.Load() }
+
+// RecordAnalysis accumulates the corpus-analysis statistics shipped
+// inside a published pack, so /v1/metrics can report analysis health
+// (samples analysed/failed/panicked) next to distribution counters.
+func (r *Registry) RecordAnalysis(st vaccine.AnalysisStats) {
+	r.analysisMu.Lock()
+	defer r.analysisMu.Unlock()
+	r.analysis.Add(st)
+	r.analysisSet = true
+}
+
+// Analysis returns the accumulated analysis statistics and whether
+// any pack has recorded them.
+func (r *Registry) Analysis() (vaccine.AnalysisStats, bool) {
+	r.analysisMu.Lock()
+	defer r.analysisMu.Unlock()
+	return r.analysis, r.analysisSet
+}
 
 // Publish validates and stores a batch of vaccines, assigning each
 // accepted vaccine the next monotonic version. Republishing a vaccine

@@ -60,6 +60,9 @@ func (s *Server) MetricsSnapshot() MetricsSnapshot {
 	snap.ActiveHosts = fl.ActiveHosts
 	snap.Converged = fl.Converged
 	snap.MinVersion = fl.MinVersion
+	if st, ok := s.reg.Analysis(); ok {
+		snap.Analysis = &st
+	}
 	return snap
 }
 

@@ -2,9 +2,11 @@ package fleet
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -53,6 +55,13 @@ type SimResult struct {
 	Agents []*Agent
 	// Converged counts agents whose applied version is Version.
 	Converged int
+	// Failed counts agents that failed (error or panic) in at least
+	// one wave; their failures are in AgentErrors.
+	Failed int
+	// AgentErrors holds each host's first failure, indexed like
+	// Agents (nil for healthy hosts). One host's failure never aborts
+	// the simulation: the remaining hosts keep converging.
+	AgentErrors []error
 	// Server is the server's final metrics snapshot.
 	Server MetricsSnapshot
 	// Stats aggregates the agents' counters.
@@ -77,12 +86,23 @@ func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	f.next.ServeHTTP(w, r)
 }
 
+// simAgentHook, when set, runs inside each agent goroutine (within
+// its recovery scope) before every wave. Tests use it to inject
+// per-host panics and errors into simulations.
+var simAgentHook func(host int)
+
 // Simulate drives a fleet of concurrent host agents against one sync
 // server over a loopback listener: it publishes each wave in turn,
 // lets every agent converge to the registry's latest version via
 // delta sync, then has each agent poll once more (the steady-state
 // 304 path) before the next wave. It returns once all waves are
 // distributed and the server is shut down.
+//
+// Host failures are isolated: an agent goroutine that errors, gets
+// stuck, or panics records its failure (panics with captured stack)
+// and the simulation carries on with the remaining hosts through
+// every wave. The returned SimResult is always non-nil once the
+// server is up; the error joins all per-host failures in host order.
 func Simulate(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 	if cfg.Hosts <= 0 {
 		cfg.Hosts = 100
@@ -136,43 +156,40 @@ func Simulate(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 	if len(waves) == 0 {
 		waves = [][]vaccine.Vaccine{nil}
 	}
+	agentErrs := make([]error, len(agents))
 	for _, wave := range waves {
 		if _, _, err := reg.Publish(wave...); err != nil {
 			return nil, err
 		}
 		latest := reg.Latest()
-		errs := make(chan error, len(agents))
 		var wg sync.WaitGroup
-		for _, a := range agents {
+		for hi, a := range agents {
+			if agentErrs[hi] != nil {
+				// The host already failed in an earlier wave; leave it
+				// behind rather than hammering the server.
+				continue
+			}
 			wg.Add(1)
-			go func(a *Agent) {
+			go func(hi int, a *Agent) {
 				defer wg.Done()
-				for n := 0; a.Version() < latest; n++ {
-					if n >= simSyncBound {
-						errs <- fmt.Errorf("fleet: %s stuck at version %d (latest %d)",
-							a.Host(), a.Version(), latest)
-						return
-					}
-					if _, err := a.SyncOnce(ctx); err != nil {
-						errs <- err
-						return
-					}
-				}
-				// Steady state: one more poll, served as a 304.
-				if _, err := a.SyncOnce(ctx); err != nil {
-					errs <- err
-				}
-			}(a)
+				agentErrs[hi] = syncAgentWave(ctx, hi, a, latest)
+			}(hi, a)
 		}
 		wg.Wait()
-		close(errs)
-		if err := <-errs; err != nil {
-			return nil, err
-		}
 	}
 
-	res := &SimResult{Version: reg.Latest(), Agents: agents, Server: srv.MetricsSnapshot()}
-	for _, a := range agents {
+	res := &SimResult{
+		Version:     reg.Latest(),
+		Agents:      agents,
+		AgentErrors: agentErrs,
+		Server:      srv.MetricsSnapshot(),
+	}
+	var failures []error
+	for hi, a := range agents {
+		if agentErrs[hi] != nil {
+			res.Failed++
+			failures = append(failures, agentErrs[hi])
+		}
 		if a.Version() == res.Version {
 			res.Converged++
 		}
@@ -186,5 +203,33 @@ func Simulate(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 		res.Stats.Failed += st.Failed
 		res.Stats.Checkins += st.Checkins
 	}
-	return res, nil
+	return res, errors.Join(failures...)
+}
+
+// syncAgentWave converges one agent on one wave with panic
+// containment: a panic anywhere in the agent's sync path becomes this
+// host's error instead of crashing the simulation.
+func syncAgentWave(ctx context.Context, host int, a *Agent, latest uint64) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("fleet: %s: panic: %v\n%s", a.Host(), r, debug.Stack())
+		}
+	}()
+	if simAgentHook != nil {
+		simAgentHook(host)
+	}
+	for n := 0; a.Version() < latest; n++ {
+		if n >= simSyncBound {
+			return fmt.Errorf("fleet: %s stuck at version %d (latest %d)",
+				a.Host(), a.Version(), latest)
+		}
+		if _, err := a.SyncOnce(ctx); err != nil {
+			return fmt.Errorf("fleet: %s: %w", a.Host(), err)
+		}
+	}
+	// Steady state: one more poll, served as a 304.
+	if _, err := a.SyncOnce(ctx); err != nil {
+		return fmt.Errorf("fleet: %s: %w", a.Host(), err)
+	}
+	return nil
 }

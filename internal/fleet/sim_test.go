@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"context"
+	"strings"
 	"testing"
 
 	"autovac/internal/vaccine"
@@ -61,6 +62,90 @@ func TestFleetConvergence(t *testing.T) {
 		}
 		if !a.Env().Exists(winenv.KindMutex, "wave2-MARKER-0003") {
 			t.Fatalf("host %s missing a wave-2 vaccine resource", a.Host())
+		}
+	}
+}
+
+// TestSimulateSurvivesAllHostsFailing injects a fault on every pack
+// request, so every agent exhausts its retries. The simulation must
+// still complete — non-nil result, every host's failure recorded in
+// AgentErrors, all failures joined into the returned error — rather
+// than abort on the first failing host.
+func TestSimulateSurvivesAllHostsFailing(t *testing.T) {
+	const hosts = 4
+	res, err := Simulate(context.Background(), SimConfig{
+		Hosts:        hosts,
+		Waves:        [][]vaccine.Vaccine{testVaccines("allfail", 3)},
+		Seed:         3,
+		FailEveryNth: 1, // every pack request 500s
+	})
+	if res == nil {
+		t.Fatalf("result must be non-nil even when every host fails: %v", err)
+	}
+	if err == nil {
+		t.Fatal("no aggregated error despite every host failing")
+	}
+	if res.Failed != hosts || res.Converged != 0 {
+		t.Fatalf("failed %d converged %d, want %d/0", res.Failed, res.Converged, hosts)
+	}
+	if len(res.AgentErrors) != hosts {
+		t.Fatalf("AgentErrors length %d", len(res.AgentErrors))
+	}
+	for hi, aerr := range res.AgentErrors {
+		if aerr == nil {
+			t.Errorf("host %d failure not recorded", hi)
+		} else if !strings.Contains(err.Error(), aerr.Error()) {
+			t.Errorf("host %d failure missing from joined error", hi)
+		}
+	}
+	// Every agent exercised its full retry budget before giving up.
+	if res.Stats.Retries != hosts*DefaultMaxRetries {
+		t.Fatalf("retries %d, want %d", res.Stats.Retries, hosts*DefaultMaxRetries)
+	}
+}
+
+// TestSimulatePanickingHostIsolated panics one host's agent via the
+// test hook: the remaining hosts must converge through every wave, and
+// the joined error must attribute the panic (with its stack) to the
+// failed host only.
+func TestSimulatePanickingHostIsolated(t *testing.T) {
+	const hosts = 6
+	simAgentHook = func(host int) {
+		if host == 0 {
+			panic("injected host panic")
+		}
+	}
+	defer func() { simAgentHook = nil }()
+
+	w1 := testVaccines("p1", 3)
+	w2 := testVaccines("p2", 2)
+	res, err := Simulate(context.Background(), SimConfig{
+		Hosts: hosts,
+		Waves: [][]vaccine.Vaccine{w1, w2},
+		Seed:  9,
+	})
+	if res == nil {
+		t.Fatalf("result must survive a panicking host: %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "injected host panic") {
+		t.Fatalf("joined error doesn't attribute the panic: %v", err)
+	}
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Error("panic stack not captured in the host error")
+	}
+	if res.Failed != 1 || res.AgentErrors[0] == nil {
+		t.Fatalf("failed %d, AgentErrors[0] = %v", res.Failed, res.AgentErrors[0])
+	}
+	// The survivors converged on both waves, untouched by host 0.
+	if res.Converged != hosts-1 {
+		t.Fatalf("converged %d, want %d", res.Converged, hosts-1)
+	}
+	for hi, a := range res.Agents[1:] {
+		if a.Version() != res.Version || a.Daemon().VaccineCount() != len(w1)+len(w2) {
+			t.Errorf("survivor %d: version %d, %d vaccines", hi+1, a.Version(), a.Daemon().VaccineCount())
+		}
+		if res.AgentErrors[hi+1] != nil {
+			t.Errorf("survivor %d has an error: %v", hi+1, res.AgentErrors[hi+1])
 		}
 	}
 }

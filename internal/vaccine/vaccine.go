@@ -149,6 +149,33 @@ func (v *Vaccine) String() string {
 		v.ID, v.Resource, v.Op, id, v.Class, v.Effect, v.Delivery)
 }
 
+// AnalysisStats summarizes the corpus analysis that produced a pack:
+// how many samples succeeded, failed, or panicked, and how long the
+// run took. It travels inside packs so distribution servers can
+// surface analysis health alongside distribution metrics.
+type AnalysisStats struct {
+	// Analyzed counts samples analysed successfully.
+	Analyzed int
+	// Failed counts samples whose analysis errored (panics included).
+	Failed int
+	// Panicked counts the subset of Failed that panicked.
+	Panicked int
+	// Skipped counts samples never started (cancellation/error budget).
+	Skipped int
+	// WallMillis is the run's wall time in milliseconds.
+	WallMillis int64
+}
+
+// Add accumulates another run's statistics (packs from several runs
+// may land in one registry).
+func (a *AnalysisStats) Add(b AnalysisStats) {
+	a.Analyzed += b.Analyzed
+	a.Failed += b.Failed
+	a.Panicked += b.Panicked
+	a.Skipped += b.Skipped
+	a.WallMillis += b.WallMillis
+}
+
 // Pack is a serializable set of vaccines (the unit shipped to end
 // hosts).
 type Pack struct {
@@ -156,6 +183,9 @@ type Pack struct {
 	Generator string
 	// Vaccines is the payload.
 	Vaccines []Vaccine
+	// Analysis, when present, summarizes the corpus run that produced
+	// the pack (partial runs still ship their completed vaccines).
+	Analysis *AnalysisStats `json:",omitempty"`
 }
 
 // WriteJSON serializes the pack.
