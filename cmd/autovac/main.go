@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 0, "analysis worker pool size (0 = GOMAXPROCS)")
 		timeout   = fs.Duration("timeout", 0, "bound the whole corpus run (0 = none); completed results are still emitted")
 		maxErrors = fs.Int("max-errors", 0, "stop dispatching new samples after this many failures (0 = analyse everything)")
+		prefilter = fs.Bool("static-prefilter", false, "skip Phase-I emulation of samples the static taint analysis proves candidate-free")
 		verbose   = fs.Bool("v", false, "print per-candidate detail")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -110,8 +111,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// The fault-isolated corpus run: per-sample panic containment,
 	// partial results, and an aggregated error in sample order.
 	results, stats, runErr := pipeline.AnalyzeCorpus(ctx, samples, core.CorpusOptions{
-		Workers:   *workers,
-		MaxErrors: *maxErrors,
+		Workers:         *workers,
+		MaxErrors:       *maxErrors,
+		StaticPrefilter: *prefilter,
 	})
 
 	pack := &vaccine.Pack{Generator: "autovac-go/1.0"}
@@ -146,6 +148,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "samples analysed:  %d/%d\n", stats.Analyzed, len(samples))
+	if *prefilter {
+		fmt.Fprintf(out, "statically filtered: %d (Phase-I emulation skipped)\n", stats.StaticallyFiltered)
+	}
 	if stats.Failed > 0 || stats.Skipped > 0 {
 		fmt.Fprintf(out, "failed:            %d (%d panicked)\n", stats.Failed, stats.Panicked)
 		fmt.Fprintf(out, "skipped:           %d\n", stats.Skipped)
@@ -173,8 +178,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	return runErr
 }
 
-// writePack serializes the pack to path.
+// writePack verifies the pack (the mandatory pre-distribution gate:
+// record validation plus static slice verification) and serializes it.
 func writePack(pack *vaccine.Pack, path string, out io.Writer) error {
+	if err := pack.Verify(); err != nil {
+		return fmt.Errorf("pack failed verification: %w", err)
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -40,13 +41,14 @@ func run(args []string) error {
 		timing = fs.Bool("timing", false, "run the §VI-F performance measurements")
 		evade  = fs.Bool("evasion", false, "run the §VII evasion/limitation experiments")
 		ablate = fs.Bool("ablation", false, "run the design-choice ablation study")
+		prefil = fs.Bool("prefilter", false, "run the static pre-filter study (prefilter on vs off)")
 		all    = fs.Bool("all", false, "regenerate everything")
 		bdrCap = fs.Int("bdrcap", 10, "max vaccines measured per effect class for Figure 4")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate {
+	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil {
 		*all = true
 	}
 
@@ -173,6 +175,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(experiment.RenderEvasion(ren, fo, fe, ri, cd))
+	}
+	if *all || *prefil {
+		st, err := setup.Prefilter(context.Background())
+		if err != nil {
+			partial = append(partial, err)
+		} else {
+			fmt.Println(experiment.RenderPrefilter(st))
+		}
 	}
 	if *ablate {
 		_, profiles, err := setup.RunPhase1()

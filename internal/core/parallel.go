@@ -67,6 +67,10 @@ type RunStats struct {
 	// Skipped counts samples never started because the run was
 	// cancelled or the error budget was exhausted.
 	Skipped int
+	// StaticallyFiltered counts samples the static taint pre-filter
+	// proved candidate-free, whose Phase-I emulation was skipped
+	// (subset of Analyzed).
+	StaticallyFiltered int
 	// SampleTimes holds per-sample wall time, indexed like the corpus
 	// (zero for skipped samples).
 	SampleTimes []time.Duration
@@ -91,11 +95,12 @@ func (st *RunStats) MeanSampleTime() time.Duration {
 // embedded in vaccine packs and served by the fleet's /v1/metrics.
 func (st *RunStats) AnalysisStats() vaccine.AnalysisStats {
 	return vaccine.AnalysisStats{
-		Analyzed:   st.Analyzed,
-		Failed:     st.Failed,
-		Panicked:   st.Panicked,
-		Skipped:    st.Skipped,
-		WallMillis: st.Wall.Milliseconds(),
+		Analyzed:           st.Analyzed,
+		Failed:             st.Failed,
+		Panicked:           st.Panicked,
+		Skipped:            st.Skipped,
+		StaticallyFiltered: st.StaticallyFiltered,
+		WallMillis:         st.Wall.Milliseconds(),
 	}
 }
 
@@ -107,6 +112,13 @@ type CorpusOptions struct {
 	// failed (0 = no budget; the run always drains every sample).
 	// Samples already in flight still finish and are reported.
 	MaxErrors int
+	// StaticPrefilter enables the static taint pre-filter
+	// (internal/static): samples it proves candidate-free skip Phase-I
+	// emulation entirely and yield an empty Result. The static pass
+	// over-approximates the dynamic one, so generated vaccines are
+	// identical with the filter on or off; off remains the default so
+	// dynamic-only analysis stays available and testable.
+	StaticPrefilter bool
 }
 
 // analyzeTestHook, when set, runs at the start of every per-sample
@@ -199,6 +211,7 @@ func (p *Pipeline) AnalyzeCorpus(ctx context.Context, samples []*malware.Sample,
 	}
 
 	errs := make([]error, len(samples))
+	filtered := make([]bool, len(samples))
 	var failed atomic.Int64
 	overBudget := func() bool {
 		return opts.MaxErrors > 0 && failed.Load() >= int64(opts.MaxErrors)
@@ -207,6 +220,15 @@ func (p *Pipeline) AnalyzeCorpus(ctx context.Context, samples []*malware.Sample,
 	// semantics cannot drift.
 	runOne := func(i int) {
 		t0 := time.Now()
+		if opts.StaticPrefilter && p.provablyCandidateFree(samples[i]) {
+			// The static pass proved no resource API can reach a
+			// predicate: Phase-I would find no candidates, so the
+			// emulation is skipped and the sample reports empty.
+			results[i] = &Result{Profile: &Profile{Sample: samples[i]}}
+			filtered[i] = true
+			stats.SampleTimes[i] = time.Since(t0)
+			return
+		}
 		results[i], errs[i] = p.analyzeIsolated(samples[i], i)
 		stats.SampleTimes[i] = time.Since(t0)
 		if errs[i] != nil {
@@ -256,6 +278,9 @@ func (p *Pipeline) AnalyzeCorpus(ctx context.Context, samples []*malware.Sample,
 			joined = append(joined, errs[i])
 		} else if results[i] != nil {
 			stats.Analyzed++
+			if filtered[i] {
+				stats.StaticallyFiltered++
+			}
 		} else {
 			stats.Skipped++
 		}

@@ -23,6 +23,7 @@ import (
 	"autovac/internal/exclusive"
 	"autovac/internal/impact"
 	"autovac/internal/malware"
+	"autovac/internal/static"
 	"autovac/internal/taint"
 	"autovac/internal/trace"
 	"autovac/internal/vaccine"
@@ -158,6 +159,20 @@ func (p *Pipeline) Phase1(s *malware.Sample) (*Profile, error) {
 		prof.Candidates = append(prof.Candidates, Candidate{Call: c, Source: hotSrc})
 	}
 	return prof, nil
+}
+
+// provablyCandidateFree runs the static taint pre-filter: true means
+// the static pass proved no resource-API result can reach a predicate,
+// so Phase-I emulation cannot produce candidates. Any analysis error
+// or panic answers false — the dynamic pipeline remains the authority.
+func (p *Pipeline) provablyCandidateFree(s *malware.Sample) (free bool) {
+	defer func() {
+		if recover() != nil {
+			free = false
+		}
+	}()
+	may, err := static.MayHaveCandidates(s.Program, p.registry)
+	return err == nil && !may
 }
 
 // Rejection explains why a candidate produced no vaccine.
@@ -369,6 +384,11 @@ func (p *Pipeline) generateOne(prof *Profile, cand Candidate) (*vaccine.Vaccine,
 		sl, err := determinism.Extract(prof.Sample.Program, prof.Normal, call.Seq)
 		if err != nil {
 			return nil, &Rejection{Candidate: cand, Stage: "determinism", Reason: err.Error()}
+		}
+		// Static replayability gate: a slice that could loop, fault, or
+		// touch host resources must never reach a pack.
+		if verr := static.VerifySlice(sl.Program, sl.ResultAddr, p.registry); verr != nil {
+			return nil, &Rejection{Candidate: cand, Stage: "determinism", Reason: verr.Error()}
 		}
 		// Sanity: the slice replays to the observed identifier on the
 		// analysis machine.

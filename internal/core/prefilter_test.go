@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"autovac/internal/exclusive"
+	"autovac/internal/isa"
+	"autovac/internal/malware"
+	"autovac/internal/static"
+	"autovac/internal/vaccine"
+)
+
+// crossCheckCorpus is the corpus size the soundness cross-check runs
+// over. Big enough to hit every behaviour generator and family mix,
+// small enough for a unit test.
+const crossCheckCorpus = 64
+
+// TestStaticAnalysisSoundOnCorpus is the soundness cross-check between
+// the dynamic Phase-I/II pipeline and the static analyses that
+// over-approximate it, on every corpus sample:
+//
+//  1. every dynamically-confirmed candidate's callsite is statically
+//     predicate-reachable (so the pre-filter can never skip a sample
+//     that has a candidate), and
+//  2. every extracted replay slice's instruction set is contained in
+//     the static backward slice of its criterion (so the def-use
+//     chains over-approximate the dynamic dependences).
+func TestStaticAnalysisSoundOnCorpus(t *testing.T) {
+	samples, err := malware.NewGenerator(3).Corpus(crossCheckCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := exclusive.BuildIndex(benign, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Seed: 3, Index: ix})
+
+	candidateSamples := 0
+	slicesChecked := 0
+	for _, s := range samples {
+		res, err := p.Analyze(s)
+		if err != nil {
+			t.Fatalf("%s: analyze: %v", s.Name(), err)
+		}
+		cfg, err := static.BuildCFG(s.Program)
+		if err != nil {
+			t.Fatalf("%s: BuildCFG: %v", s.Name(), err)
+		}
+		tf := static.BuildTaintFlow(cfg, p.Registry())
+
+		if len(res.Profile.Candidates) > 0 {
+			candidateSamples++
+			if !tf.AnyPredicateReachable() {
+				t.Errorf("%s: has %d dynamic candidates but the static pre-filter would skip it",
+					s.Name(), len(res.Profile.Candidates))
+			}
+		}
+		for _, cand := range res.Profile.Candidates {
+			if !tf.PredicateReachable(cand.Call.CallerPC) {
+				t.Errorf("%s: candidate %s at pc %d not statically predicate-reachable",
+					s.Name(), cand.Call.API, cand.Call.CallerPC)
+			}
+		}
+
+		var du *static.DefUse
+		for _, v := range res.Vaccines {
+			if v.Slice == nil || len(v.Slice.PCs) == 0 {
+				continue
+			}
+			if du == nil {
+				du = static.BuildDefUse(cfg)
+			}
+			slicesChecked++
+			stat := du.BackwardSlice(v.Slice.CriterionPC)
+			for _, pc := range v.Slice.PCs {
+				if !stat[pc] {
+					t.Errorf("%s: vaccine %s: dynamic slice pc %d outside static backward slice of pc %d",
+						s.Name(), v.ID, pc, v.Slice.CriterionPC)
+				}
+			}
+		}
+	}
+	// The cross-check is vacuous if the corpus produced nothing to
+	// compare; guard against a silent regression in the generators.
+	if candidateSamples == 0 {
+		t.Error("corpus produced no candidate samples — cross-check did not exercise the taint flow")
+	}
+	if slicesChecked == 0 {
+		t.Error("corpus produced no algorithm-deterministic slices — cross-check did not exercise backward slicing")
+	}
+}
+
+// candidateFreeSample builds a "fire-and-forget dropper": it marks its
+// presence in resource namespaces but never branches on any result, so
+// Phase-I finds no candidates and the static pre-filter can prove it.
+// The stock corpus contains no such samples (every paper behaviour is
+// resource-gated), which is exactly why the mixed-workload tests below
+// add them by hand.
+func candidateFreeSample(t testing.TB, i int) *malware.Sample {
+	t.Helper()
+	b := isa.NewBuilder(fmt.Sprintf("dropper-%03d", i))
+	mu := b.RData("mu", fmt.Sprintf(`Global\DROP-%d`, i))
+	// Untainted busywork first, so its compare sees clean data only.
+	b.Mov(isa.R(isa.ECX), isa.Imm(uint32(3+i%5))).
+		Label("spin").Dec(isa.R(isa.ECX)).
+		Jnz("spin")
+	// Resource marker whose result is discarded, never compared.
+	b.CallAPI("CreateMutexA", isa.Sym(mu))
+	b.Mov(isa.R(isa.EAX), isa.Imm(0)).
+		Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &malware.Sample{
+		Spec:    &malware.Spec{Name: p.Name, Category: malware.Worm},
+		Program: p,
+	}
+}
+
+// TestPrefilterSkipsCandidateFreeSamples checks the filter engages on
+// a mixed workload: every hand-built candidate-free dropper is skipped,
+// every resource-gated sample is still emulated.
+func TestPrefilterSkipsCandidateFreeSamples(t *testing.T) {
+	samples, err := malware.NewGenerator(5).Corpus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const droppers = 8
+	for i := 0; i < droppers; i++ {
+		samples = append(samples, candidateFreeSample(t, i))
+	}
+	p := New(Config{Seed: 5})
+	results, stats, err := p.AnalyzeCorpus(context.Background(), samples,
+		CorpusOptions{StaticPrefilter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StaticallyFiltered != droppers {
+		t.Errorf("StaticallyFiltered = %d, want %d (the hand-built droppers)",
+			stats.StaticallyFiltered, droppers)
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Errorf("sample %d: missing result", i)
+			continue
+		}
+		if res.Profile.HasVaccineCandidates() && res.Profile.Normal == nil {
+			t.Errorf("%s: skipped sample reported candidates", samples[i].Name())
+		}
+	}
+}
+
+// TestPrefilterPreservesPackExactly runs the same mixed corpus with the
+// static pre-filter off and on: vaccine output must be byte-identical
+// (the filter only skips provably candidate-free samples), and the
+// filtered count must be visible in the run statistics.
+func TestPrefilterPreservesPackExactly(t *testing.T) {
+	samples, err := malware.NewGenerator(5).Corpus(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		samples = append(samples, candidateFreeSample(t, i))
+	}
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := exclusive.BuildIndex(benign, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := New(Config{Seed: 5, Index: ix})
+
+	packFor := func(pre bool) (string, *RunStats) {
+		results, stats, err := p.AnalyzeCorpus(context.Background(), samples,
+			CorpusOptions{StaticPrefilter: pre})
+		if err != nil {
+			t.Fatalf("AnalyzeCorpus(prefilter=%v): %v", pre, err)
+		}
+		pack := vaccine.Pack{Generator: "test"}
+		for _, res := range results {
+			if res != nil {
+				pack.Vaccines = append(pack.Vaccines, res.Vaccines...)
+			}
+		}
+		return pack.Digest(), stats
+	}
+
+	dynDigest, dynStats := packFor(false)
+	preDigest, preStats := packFor(true)
+	if dynDigest != preDigest {
+		t.Errorf("packs diverged: dynamic %s vs prefiltered %s", dynDigest, preDigest)
+	}
+	if dynStats.StaticallyFiltered != 0 {
+		t.Errorf("dynamic run reported %d statically filtered samples", dynStats.StaticallyFiltered)
+	}
+	if preStats.StaticallyFiltered != 8 {
+		t.Errorf("pre-filter skipped %d samples, want the 8 candidate-free droppers",
+			preStats.StaticallyFiltered)
+	}
+	if preStats.StaticallyFiltered > preStats.Analyzed {
+		t.Errorf("StaticallyFiltered %d exceeds Analyzed %d",
+			preStats.StaticallyFiltered, preStats.Analyzed)
+	}
+	if st := preStats.AnalysisStats(); st.StaticallyFiltered != preStats.StaticallyFiltered {
+		t.Errorf("AnalysisStats dropped the filtered count: %d vs %d",
+			st.StaticallyFiltered, preStats.StaticallyFiltered)
+	}
+}
+
+// benchmarkPhase1Corpus measures a mixed workload: half the paper's
+// resource-gated corpus mix, half fire-and-forget samples the static
+// pre-filter can prove candidate-free. On the stock corpus alone the
+// filter can skip nothing (every generated behaviour branches on a
+// resource result), so the mix is what exposes the trade-off: the
+// per-sample static-analysis cost vs the emulation it avoids.
+func benchmarkPhase1Corpus(b *testing.B, prefilter bool) {
+	samples, err := malware.NewGenerator(11).Corpus(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		samples = append(samples, candidateFreeSample(b, i))
+	}
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ix, err := exclusive.BuildIndex(benign, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := New(Config{Seed: 11, Index: ix})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := p.AnalyzeCorpus(context.Background(), samples,
+			CorpusOptions{StaticPrefilter: prefilter})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhase1DynamicOnly is the baseline: every sample emulated.
+func BenchmarkPhase1DynamicOnly(b *testing.B) { benchmarkPhase1Corpus(b, false) }
+
+// BenchmarkPhase1WithPrefilter skips emulation of samples the static
+// taint analysis proves candidate-free.
+func BenchmarkPhase1WithPrefilter(b *testing.B) { benchmarkPhase1Corpus(b, true) }

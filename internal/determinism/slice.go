@@ -27,6 +27,12 @@ type Slice struct {
 	API string
 	// SourceSteps counts the instructions included in the slice.
 	SourceSteps int
+	// PCs lists the original-program pcs of the included steps, in
+	// slice order; CriterionPC is the candidate call's pc. Together
+	// they tie the dynamic slice back to the program text, which is
+	// what the static-analysis soundness cross-check compares against.
+	PCs         []int `json:",omitempty"`
+	CriterionPC int   `json:",omitempty"`
 }
 
 // Extract performs backward data slicing over an instruction-level
@@ -126,6 +132,7 @@ func Extract(prog *isa.Program, tr *trace.Trace, seq int) (*Slice, error) {
 		}
 	}
 	count := 0
+	var pcs []int
 	for j := 0; j < callIdx; j++ {
 		if !included[j] {
 			continue
@@ -134,6 +141,7 @@ func Extract(prog *isa.Program, tr *trace.Trace, seq int) (*Slice, error) {
 		in.Label = "" // dynamic steps may repeat static labels
 		in.Comment = ""
 		b.Raw(in)
+		pcs = append(pcs, tr.Steps[j].PC)
 		count++
 	}
 	b.Halt()
@@ -146,6 +154,8 @@ func Extract(prog *isa.Program, tr *trace.Trace, seq int) (*Slice, error) {
 		ResultAddr:  resultAddr,
 		API:         call.API,
 		SourceSteps: count,
+		PCs:         pcs,
+		CriterionPC: tr.Steps[callIdx].PC,
 	}, nil
 }
 

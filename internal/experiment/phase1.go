@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"autovac/internal/core"
 	"autovac/internal/winenv"
@@ -53,6 +55,12 @@ func (st *Phase1Stats) KindShare(kind winenv.ResourceKind) float64 {
 }
 
 // parallelIndexes fans indexes out to a bounded worker pool and waits.
+// Workers claim indexes from a shared atomic counter — there is no
+// producer goroutine and no channel, so a panicking work item can
+// never leave the dispatcher blocked on a send nobody will receive.
+// Every call runs under recovery; a panic is captured (first one wins)
+// and re-raised on the calling goroutine after the pool drains, where
+// the experiment-level guard can contain it.
 func (s *Setup) parallelIndexes(n int, work func(i int)) {
 	workers := s.Workers
 	if workers <= 0 {
@@ -67,22 +75,43 @@ func (s *Setup) parallelIndexes(n int, work func(i int)) {
 		}
 		return
 	}
-	indexes := make(chan int)
+	var (
+		next     atomic.Int64
+		panicMu  sync.Mutex
+		panicVal interface{}
+		panicTB  []byte
+	)
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicMu.Lock()
+				if panicVal == nil {
+					panicVal = r
+					panicTB = debug.Stack()
+				}
+				panicMu.Unlock()
+			}
+		}()
+		work(i)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range indexes {
-				work(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i)
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		indexes <- i
-	}
-	close(indexes)
 	wg.Wait()
+	if panicVal != nil {
+		panic(fmt.Sprintf("experiment: worker panic: %v\n%s", panicVal, panicTB))
+	}
 }
 
 // RunPhase1 profiles the whole corpus and returns the statistics plus

@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"autovac/internal/core"
+	"autovac/internal/vaccine"
+)
+
+// PrefilterStudy compares a full corpus analysis with the static taint
+// pre-filter off (the dynamic baseline) and on. The pre-filter is a
+// sound over-approximation of the Phase-I dynamic taint analysis, so
+// the two runs must produce byte-identical vaccine packs; the study
+// reports how many samples the filter proved candidate-free (Phase-I
+// emulation skipped) and the wall-clock on both sides, and flags any
+// pack divergence as a soundness violation.
+type PrefilterStudy struct {
+	// Samples is the corpus size both runs covered.
+	Samples int
+	// Filtered counts samples the static analysis proved candidate-free
+	// (their Phase-I emulation was skipped).
+	Filtered int
+	// DynamicWall and PrefilterWall are the two runs' wall-clock times.
+	DynamicWall   time.Duration
+	PrefilterWall time.Duration
+	// Vaccines is the vaccine count (identical in both runs when sound).
+	Vaccines int
+	// Identical reports whether the two packs had the same digest. A
+	// false value means the pre-filter skipped a sample that had a
+	// vaccine — a soundness bug.
+	Identical bool
+}
+
+// FilteredRatio returns the fraction of samples skipped.
+func (p *PrefilterStudy) FilteredRatio() float64 {
+	if p.Samples == 0 {
+		return 0
+	}
+	return float64(p.Filtered) / float64(p.Samples)
+}
+
+// Prefilter runs the study: one corpus analysis with the static
+// pre-filter off, one with it on, packs compared by digest.
+func (s *Setup) Prefilter(ctx context.Context) (*PrefilterStudy, error) {
+	run := func(pre bool) (*vaccine.Pack, *core.RunStats, time.Duration, error) {
+		t0 := time.Now()
+		results, stats, err := s.Pipeline.AnalyzeCorpus(ctx, s.Samples, core.CorpusOptions{
+			Workers:         s.Workers,
+			StaticPrefilter: pre,
+		})
+		wall := time.Since(t0)
+		if err != nil {
+			return nil, nil, wall, err
+		}
+		pack := &vaccine.Pack{Generator: "experiment/prefilter"}
+		for _, res := range results {
+			if res != nil {
+				pack.Vaccines = append(pack.Vaccines, res.Vaccines...)
+			}
+		}
+		return pack, stats, wall, nil
+	}
+	dynPack, _, dynWall, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: prefilter baseline: %w", err)
+	}
+	prePack, preStats, preWall, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: prefilter run: %w", err)
+	}
+	return &PrefilterStudy{
+		Samples:       len(s.Samples),
+		Filtered:      preStats.StaticallyFiltered,
+		DynamicWall:   dynWall,
+		PrefilterWall: preWall,
+		Vaccines:      len(dynPack.Vaccines),
+		Identical:     dynPack.Digest() == prePack.Digest(),
+	}, nil
+}
+
+// RenderPrefilter renders the study as a small report block.
+func RenderPrefilter(p *PrefilterStudy) string {
+	var b strings.Builder
+	b.WriteString("Static pre-filter study (Phase-I emulation skipping)\n")
+	fmt.Fprintf(&b, "samples:             %d\n", p.Samples)
+	fmt.Fprintf(&b, "statically filtered: %d (%.1f%%)\n", p.Filtered, 100*p.FilteredRatio())
+	fmt.Fprintf(&b, "dynamic-only wall:   %v\n", p.DynamicWall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "prefilter wall:      %v\n", p.PrefilterWall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "vaccines:            %d\n", p.Vaccines)
+	if p.Identical {
+		b.WriteString("packs: byte-identical (pre-filter is sound on this corpus)\n")
+	} else {
+		b.WriteString("packs: DIVERGED — the pre-filter dropped a vaccine (soundness bug)\n")
+	}
+	return b.String()
+}

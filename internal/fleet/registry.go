@@ -136,11 +136,19 @@ func (r *Registry) Analysis() (vaccine.AnalysisStats, bool) {
 // changed vaccine under an existing ID replaces it at a new version.
 // It returns the registry's latest version and the number of vaccines
 // actually (re)stored.
+//
+// Publication is the last gate before fleet-wide distribution, so in
+// addition to record validation every vaccine must pass the static
+// slice verifier (VerifyReplayable): a vaccine whose replay slice
+// could loop, fault, or touch host resources is refused.
 func (r *Registry) Publish(vs ...vaccine.Vaccine) (uint64, int, error) {
 	stored := 0
 	for i := range vs {
 		v := vs[i]
 		if err := v.Validate(); err != nil {
+			return r.version.Load(), stored, fmt.Errorf("fleet: publish: %w", err)
+		}
+		if err := v.VerifyReplayable(); err != nil {
 			return r.version.Load(), stored, fmt.Errorf("fleet: publish: %w", err)
 		}
 		fp := v.Fingerprint()

@@ -8,6 +8,7 @@ import (
 
 	"autovac/internal/determinism"
 	"autovac/internal/impact"
+	"autovac/internal/isa"
 	"autovac/internal/vaccine"
 	"autovac/internal/winenv"
 )
@@ -80,6 +81,33 @@ func TestPublishRejectsInvalid(t *testing.T) {
 	bad := staticVaccine("bad/mutex/0", "")
 	if _, _, err := r.Publish(bad); err == nil {
 		t.Fatal("invalid vaccine accepted")
+	}
+}
+
+// TestPublishRefusesUnreplayableSlice checks the behavioural gate: a
+// vaccine that passes record validation but whose replay slice fails
+// the static verifier (here: an infinite loop) must never enter the
+// registry, and a failed batch must not bump the version.
+func TestPublishRefusesUnreplayableSlice(t *testing.T) {
+	b := isa.NewBuilder("evil-slice")
+	b.Label("top").Inc(isa.R(isa.EAX)).Jmp("top").Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := staticVaccine("evil/mutex/0", "EVIL-0001")
+	v.Class = determinism.AlgorithmDeterministic
+	v.Slice = &determinism.Slice{Program: prog, ResultAddr: 0x00500000,
+		API: "CreateMutexA", SourceSteps: 2}
+	if err := v.Validate(); err != nil {
+		t.Fatalf("record validation must pass for this test to bite: %v", err)
+	}
+	r := NewRegistry(0)
+	if _, _, err := r.Publish(v); err == nil {
+		t.Fatal("vaccine with an unreplayable slice accepted for distribution")
+	}
+	if r.Count() != 0 || r.Latest() != 0 {
+		t.Fatalf("refused publish left state behind: count %d version %d", r.Count(), r.Latest())
 	}
 }
 

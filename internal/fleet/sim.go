@@ -121,7 +121,16 @@ func Simulate(ctx context.Context, cfg SimConfig) (*SimResult, error) {
 	}
 	hs := &http.Server{Handler: flaky}
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- hs.Serve(ln) }()
+	go func() {
+		// A panic in the HTTP server must surface as a simulation
+		// failure, not kill the process from a bare goroutine.
+		defer func() {
+			if r := recover(); r != nil {
+				serveErr <- fmt.Errorf("fleet: simulate: server panic: %v\n%s", r, debug.Stack())
+			}
+		}()
+		serveErr <- hs.Serve(ln)
+	}()
 	defer func() {
 		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		hs.Shutdown(sctx)

@@ -53,58 +53,166 @@ func (p *Program) FindData(name string) *DataItem {
 	return nil
 }
 
+// ValidationError is one structural defect found by Validate: which
+// program, which instruction (or -1 for data-segment defects), and a
+// stable reason code alongside the human-readable detail.
+type ValidationError struct {
+	// Program is the offending program's name.
+	Program string
+	// PC is the offending instruction index, or -1 for whole-program
+	// and data-segment defects.
+	PC int
+	// Reason is a stable code: duplicate-label, duplicate-data,
+	// invalid-register, unknown-symbol, sym-bounds, bad-target,
+	// missing-api, operand-kind.
+	Reason string
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// Error renders the defect.
+func (e *ValidationError) Error() string {
+	if e.PC < 0 {
+		return fmt.Sprintf("isa: %s: %s: %s", e.Program, e.Reason, e.Detail)
+	}
+	return fmt.Sprintf("isa: %s: pc %d: %s: %s", e.Program, e.PC, e.Reason, e.Detail)
+}
+
+// operandShape encodes which operand kinds an opcode accepts for its
+// destination and source slots. Opcodes absent from the table take no
+// operands.
+type operandShape struct{ dst, src []OperandKind }
+
+var (
+	anyKind   = []OperandKind{KindReg, KindImm, KindMem}
+	writable  = []OperandKind{KindReg, KindMem}
+	regOnly   = []OperandKind{KindReg}
+	memOnly   = []OperandKind{KindMem}
+	noOperand = []OperandKind{KindNone}
+)
+
+// opShapes maps each opcode to the operand kinds the emulator can
+// execute. Immediates are never writable, LEA needs a memory source
+// and register destination, and control-flow instructions take their
+// target as a label, not an operand.
+var opShapes = map[Opcode]operandShape{
+	NOP:     {noOperand, noOperand},
+	MOV:     {writable, anyKind},
+	MOVB:    {writable, anyKind},
+	LEA:     {regOnly, memOnly},
+	PUSH:    {anyKind, noOperand},
+	POP:     {writable, noOperand},
+	ADD:     {writable, anyKind},
+	SUB:     {writable, anyKind},
+	XOR:     {writable, anyKind},
+	AND:     {writable, anyKind},
+	OR:      {writable, anyKind},
+	SHL:     {writable, anyKind},
+	SHR:     {writable, anyKind},
+	INC:     {writable, noOperand},
+	DEC:     {writable, noOperand},
+	CMP:     {anyKind, anyKind},
+	TEST:    {anyKind, anyKind},
+	JMP:     {noOperand, noOperand},
+	JZ:      {noOperand, noOperand},
+	JNZ:     {noOperand, noOperand},
+	JL:      {noOperand, noOperand},
+	JGE:     {noOperand, noOperand},
+	CALL:    {noOperand, noOperand},
+	RET:     {noOperand, noOperand},
+	CALLAPI: {noOperand, noOperand},
+	HALT:    {noOperand, noOperand},
+}
+
+func kindAllowed(k OperandKind, allowed []OperandKind) bool {
+	for _, a := range allowed {
+		if k == a {
+			return true
+		}
+	}
+	return false
+}
+
 // Validate checks structural integrity: jump/call targets resolve,
-// symbolic operands name data items, registers are valid, CALLAPI has an
-// API name, and labels are unique.
+// symbolic operands name data items and stay inside them, operand
+// kinds are consistent with each opcode, registers are valid, CALLAPI
+// has an API name, and labels are unique. Failures are typed
+// *ValidationError values, so the assembler and the emulator load path
+// report the defect instead of misexecuting.
 func (p *Program) Validate() error {
+	fail := func(pc int, reason, format string, args ...interface{}) error {
+		return &ValidationError{Program: p.Name, PC: pc, Reason: reason,
+			Detail: fmt.Sprintf(format, args...)}
+	}
 	seen := make(map[string]bool)
 	for i, in := range p.Instrs {
 		if in.Label != "" {
 			if seen[in.Label] {
-				return fmt.Errorf("isa: %s: duplicate label %q at %d", p.Name, in.Label, i)
+				return fail(i, "duplicate-label", "duplicate label %q", in.Label)
 			}
 			seen[in.Label] = true
 		}
 	}
 	labels := p.Labels()
-	dataNames := make(map[string]bool, len(p.Data))
+	dataLen := make(map[string]int, len(p.Data))
 	for _, d := range p.Data {
-		if dataNames[d.Name] {
-			return fmt.Errorf("isa: %s: duplicate data item %q", p.Name, d.Name)
+		if _, dup := dataLen[d.Name]; dup {
+			return fail(-1, "duplicate-data", "data item %q already defined", d.Name)
 		}
-		dataNames[d.Name] = true
+		dataLen[d.Name] = len(d.Data)
 	}
-	checkOperand := func(i int, o Operand) error {
+	checkOperand := func(i int, o Operand, slot string, allowed []OperandKind) error {
+		if !kindAllowed(o.Kind, allowed) {
+			return fail(i, "operand-kind", "%s does not accept %s operand %s",
+				p.Instrs[i].Op, slot, o)
+		}
 		switch o.Kind {
 		case KindReg:
 			if !o.Reg.Valid() {
-				return fmt.Errorf("isa: %s: invalid register at %d", p.Name, i)
+				return fail(i, "invalid-register", "invalid register in %s operand", slot)
 			}
 		case KindImm, KindMem:
-			if o.Sym != "" && !dataNames[o.Sym] {
-				return fmt.Errorf("isa: %s: unknown symbol %q at %d", p.Name, o.Sym, i)
+			if o.Sym != "" {
+				n, ok := dataLen[o.Sym]
+				if !ok {
+					return fail(i, "unknown-symbol", "unknown symbol %q", o.Sym)
+				}
+				// A symbolic displacement must stay inside the item it
+				// names (one past the end is tolerated for end-pointer
+				// arithmetic); anything further is a latent fault the
+				// guard padding would otherwise mask.
+				if o.Sym != "" && !o.HasBase && o.Imm > uint32(n) {
+					return fail(i, "sym-bounds", "displacement %d exceeds %q (%d bytes)",
+						o.Imm, o.Sym, n)
+				}
 			}
 			if o.Kind == KindMem && o.HasBase && !o.Reg.Valid() {
-				return fmt.Errorf("isa: %s: invalid base register at %d", p.Name, i)
+				return fail(i, "invalid-register", "invalid register as memory base")
 			}
 		}
 		return nil
 	}
 	for i, in := range p.Instrs {
-		if err := checkOperand(i, in.Dst); err != nil {
+		shape, known := opShapes[in.Op]
+		if !known {
+			return fail(i, "operand-kind", "unknown opcode %v", in.Op)
+		}
+		if err := checkOperand(i, in.Dst, "destination", shape.dst); err != nil {
 			return err
 		}
-		if err := checkOperand(i, in.Src); err != nil {
+		if err := checkOperand(i, in.Src, "source", shape.src); err != nil {
 			return err
 		}
 		switch {
 		case in.Op == CALLAPI && in.API == "":
-			return fmt.Errorf("isa: %s: callapi without API name at %d", p.Name, i)
+			return fail(i, "missing-api", "callapi without API name")
+		case in.Op == CALLAPI && in.NArgs < 0:
+			return fail(i, "missing-api", "callapi %s with negative NArgs %d", in.API, in.NArgs)
 		case (in.Op.IsJump() || in.Op == CALL) && in.Target == "":
-			return fmt.Errorf("isa: %s: %s without target at %d", p.Name, in.Op, i)
+			return fail(i, "bad-target", "%s without target", in.Op)
 		case in.Op.IsJump() || in.Op == CALL:
 			if _, ok := labels[in.Target]; !ok {
-				return fmt.Errorf("isa: %s: unresolved target %q at %d", p.Name, in.Target, i)
+				return fail(i, "bad-target", "unresolved target %q", in.Target)
 			}
 		}
 	}

@@ -1,0 +1,252 @@
+// Package lint is the repository's custom vet pass, built on the
+// standard library's go/ast only (no external analysis framework).
+//
+// Its single rule today: no bare goroutine in internal/... — every
+// `go` statement must spawn a function whose body transitively reaches
+// a recover(). A panic inside a goroutine with no recover kills the
+// whole process, which this codebase cannot afford: the corpus runner,
+// the experiment pool, and the fleet simulator all promise per-unit
+// fault isolation, and a single bare goroutine voids that promise.
+//
+// "Transitively reaches" is a per-package fixpoint over a coarse call
+// graph: a function is recovering when its body contains a recover()
+// call (including inside a deferred closure), or calls — by name —
+// a same-package function declaration, a method, or a local closure
+// variable (`runOne := func(...)`) that is itself recovering. The
+// name matching is deliberately coarse (methods match on the bare
+// selector name); the rule is a tripwire, not a proof.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Violation is one rule breach, with the position of the offending
+// `go` statement.
+type Violation struct {
+	Pos token.Position
+	Msg string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s", v.Pos, v.Msg)
+}
+
+// CheckDir parses every non-test Go file under root (recursively,
+// grouped per directory as one package) and returns all violations,
+// sorted by position. Vendor and testdata directories are skipped.
+func CheckDir(root string) ([]Violation, error) {
+	perDir := make(map[string][]string)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "testdata", "vendor":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		perDir[dir] = append(perDir[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var all []Violation
+	dirs := make([]string, 0, len(perDir))
+	for dir := range perDir {
+		dirs = append(dirs, dir)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		var files []*ast.File
+		for _, path := range perDir[dir] {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return nil, err
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			files = append(files, f)
+		}
+		all = append(all, CheckFiles(fset, files)...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return all, nil
+}
+
+// funcInfo is one named function-like body in the package: a function
+// declaration, a method (keyed by bare name), or a local closure
+// variable assigned a function literal.
+type funcInfo struct {
+	recovers bool            // body contains a direct recover() call
+	calls    map[string]bool // names called from the body
+}
+
+// CheckFiles runs the rule over one package's files and returns the
+// violations. Exported separately from CheckDir so tests can feed
+// synthetic sources.
+func CheckFiles(fset *token.FileSet, files []*ast.File) []Violation {
+	funcs := make(map[string]*funcInfo)
+	record := func(name string, body *ast.BlockStmt) {
+		if body == nil {
+			return
+		}
+		info := &funcInfo{calls: make(map[string]bool)}
+		scanBody(body, info)
+		// A name bound more than once (method sets, shadowed closures)
+		// keeps the union: recovering if any binding recovers. Erring
+		// toward acceptance keeps the coarse matching from producing
+		// false alarms; the rule is a tripwire.
+		if prev, ok := funcs[name]; ok {
+			info.recovers = info.recovers || prev.recovers
+			for c := range prev.calls {
+				info.calls[c] = true
+			}
+		}
+		funcs[name] = info
+	}
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				record(fd.Name.Name, fd.Body)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Rhs {
+				lit, ok := as.Rhs[i].(*ast.FuncLit)
+				if !ok {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					record(id.Name, lit.Body)
+				}
+			}
+			return true
+		})
+	}
+
+	// Fixpoint: propagate "recovering" across the name-level call graph.
+	recovering := make(map[string]bool)
+	for name, info := range funcs {
+		if info.recovers {
+			recovering[name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, info := range funcs {
+			if recovering[name] {
+				continue
+			}
+			for callee := range info.calls {
+				if recovering[callee] {
+					recovering[name] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	var out []Violation
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goStmtRecovers(g, recovering) {
+				out = append(out, Violation{
+					Pos: fset.Position(g.Pos()),
+					Msg: "bare goroutine: no recover() reachable from the spawned function " +
+						"(a panic here kills the process; wrap the body or call a recovering helper)",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// goStmtRecovers reports whether the spawned function reaches a
+// recover(): a literal whose body recovers or calls a recovering
+// name, or a direct call to a recovering name.
+func goStmtRecovers(g *ast.GoStmt, recovering map[string]bool) bool {
+	switch fun := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		info := &funcInfo{calls: make(map[string]bool)}
+		scanBody(fun.Body, info)
+		if info.recovers {
+			return true
+		}
+		for callee := range info.calls {
+			if recovering[callee] {
+				return true
+			}
+		}
+		return false
+	default:
+		return recovering[calleeName(fun)]
+	}
+}
+
+// scanBody records a direct recover() call and every called name
+// (plain identifiers and bare selector names alike) in the body.
+func scanBody(body *ast.BlockStmt, info *funcInfo) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call.Fun)
+		if name == "recover" {
+			info.recovers = true
+		} else if name != "" {
+			info.calls[name] = true
+		}
+		return true
+	})
+}
+
+// calleeName extracts the coarse name of a call target: the identifier
+// for plain calls, the selector name for method or package calls, and
+// "" for anything dynamic.
+func calleeName(fun ast.Expr) string {
+	switch e := fun.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return calleeName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func checkSrc(t *testing.T, src string) []Violation {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckFiles(fset, []*ast.File{f})
+}
+
+func TestRule(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int // violations
+	}{
+		{
+			name: "bare goroutine",
+			src: `package p
+func f() { go func() { work() }() }
+func work() {}`,
+			want: 1,
+		},
+		{
+			name: "inline deferred recover",
+			src: `package p
+func f() {
+	go func() {
+		defer func() { recover() }()
+		work()
+	}()
+}
+func work() {}`,
+			want: 0,
+		},
+		{
+			name: "calls recovering package function",
+			src: `package p
+func f() { go func() { guarded() }() }
+func guarded() { defer func() { recover() }(); work() }
+func work() {}`,
+			want: 0,
+		},
+		{
+			name: "calls recovering method by name",
+			src: `package p
+type T struct{}
+func (t *T) isolated() { defer func() { recover() }() }
+func f(t *T) { go func() { t.isolated() }() }`,
+			want: 0,
+		},
+		{
+			name: "local closure variable transitively recovers",
+			src: `package p
+func f() {
+	runOne := func(i int) { defer func() { recover() }(); work(i) }
+	go func() { runOne(0) }()
+}
+func work(int) {}`,
+			want: 0,
+		},
+		{
+			name: "two-hop fixpoint through closure and method",
+			src: `package p
+type T struct{}
+func (t *T) isolated() { defer func() { recover() }() }
+func f(t *T) {
+	runOne := func() { t.isolated() }
+	go func() { runOne() }()
+}`,
+			want: 0,
+		},
+		{
+			name: "direct go of recovering function",
+			src: `package p
+func f() { go guarded() }
+func guarded() { defer func() { recover() }() }`,
+			want: 0,
+		},
+		{
+			name: "direct go of non-recovering function",
+			src: `package p
+func f() { go work() }
+func work() {}`,
+			want: 1,
+		},
+		{
+			name: "call cycle without recover still flagged",
+			src: `package p
+func f() { go func() { a() }() }
+func a() { b() }
+func b() { a() }`,
+			want: 1,
+		},
+		{
+			name: "selector call into other package does not count",
+			src: `package p
+import "net/http"
+func f(s *http.Server) { go func() { s.ListenAndServe() }() }`,
+			want: 1,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := checkSrc(t, tt.src)
+			if len(got) != tt.want {
+				t.Fatalf("got %d violations, want %d: %v", len(got), tt.want, got)
+			}
+		})
+	}
+}
+
+// TestNoBareGoroutines enforces the rule over the real tree: every
+// goroutine spawned anywhere under internal/ must reach a recover().
+// This is the CI entry point for the custom vet pass.
+func TestNoBareGoroutines(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := CheckDir(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}

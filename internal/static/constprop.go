@@ -1,0 +1,211 @@
+package static
+
+import "autovac/internal/isa"
+
+// constKind is the three-point lattice of the constant propagation.
+type constKind uint8
+
+const (
+	cUndef constKind = iota // no path defines the register yet (top)
+	cConst                  // single known value on every path
+	cNAC                    // not a constant (bottom)
+)
+
+// cval is one lattice element.
+type cval struct {
+	kind constKind
+	v    uint32
+}
+
+func top() cval           { return cval{kind: cUndef} }
+func nac() cval           { return cval{kind: cNAC} }
+func konst(v uint32) cval { return cval{kind: cConst, v: v} }
+
+// meet joins two lattice elements.
+func meet(a, b cval) cval {
+	switch {
+	case a.kind == cUndef:
+		return b
+	case b.kind == cUndef:
+		return a
+	case a.kind == cConst && b.kind == cConst && a.v == b.v:
+		return a
+	default:
+		return nac()
+	}
+}
+
+// ConstProp is the result of intraprocedural constant propagation over
+// the eight general-purpose registers. Memory is not modelled (any
+// load yields not-a-constant), which keeps the pass a safe
+// under-approximation of "definitely this value": whenever ConstAt
+// reports a constant, the emulator computes that exact value at that
+// point on every path reaching it.
+type ConstProp struct {
+	cfg *CFG
+	// in[i][r] is register r's lattice value before instruction i.
+	in [][isa.NumRegs]cval
+}
+
+// BuildConstProp runs the propagation to fixpoint.
+func BuildConstProp(cfg *CFG) *ConstProp {
+	n := len(cfg.Prog.Instrs)
+	cp := &ConstProp{cfg: cfg, in: make([][isa.NumRegs]cval, n)}
+
+	// Entry state mirrors emulator reset: registers are zeroed except
+	// ESP, whose concrete stack address we leave abstract.
+	var entry [isa.NumRegs]cval
+	for r := range entry {
+		entry[r] = konst(0)
+	}
+	entry[isa.ESP] = nac()
+
+	ins := make([][isa.NumRegs]cval, cfg.NumBlocks())
+	outs := make([][isa.NumRegs]cval, cfg.NumBlocks())
+	seeded := make([]bool, cfg.NumBlocks())
+	if cfg.NumBlocks() > 0 {
+		ins[0] = entry
+		seeded[0] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range cfg.RPO {
+			b := cfg.Blocks[bi]
+			st := ins[bi]
+			for _, p := range b.Preds {
+				if !seeded[p] {
+					continue
+				}
+				for r := range st {
+					st[r] = meet(st[r], outs[p][r])
+				}
+			}
+			if st != ins[bi] {
+				ins[bi] = st
+				changed = true
+			}
+			for i := b.Start; i < b.End; i++ {
+				st = constTransfer(cfg.Prog.Instrs[i], st)
+			}
+			if !seeded[bi] || st != outs[bi] {
+				outs[bi] = st
+				seeded[bi] = true
+				changed = true
+			}
+		}
+	}
+	for _, b := range cfg.Blocks {
+		st := ins[b.ID]
+		if !seeded[b.ID] {
+			// Unreachable: everything unknown.
+			for r := range st {
+				st[r] = nac()
+			}
+		}
+		for i := b.Start; i < b.End; i++ {
+			cp.in[i] = st
+			st = constTransfer(cfg.Prog.Instrs[i], st)
+		}
+	}
+	return cp
+}
+
+// operandConst evaluates a source operand against the register state.
+func operandConst(o isa.Operand, st [isa.NumRegs]cval) cval {
+	switch o.Kind {
+	case isa.KindReg:
+		return st[o.Reg]
+	case isa.KindImm:
+		if o.Sym != "" {
+			// Symbol addresses are resolved at load time; leave abstract.
+			return nac()
+		}
+		return konst(o.Imm)
+	default:
+		// Memory is unmodelled.
+		return nac()
+	}
+}
+
+// constTransfer applies one instruction to the register state,
+// mirroring the emulator's ALU (internal/emu exec.go).
+func constTransfer(in isa.Instr, st [isa.NumRegs]cval) [isa.NumRegs]cval {
+	set := func(o isa.Operand, v cval) {
+		if o.Kind == isa.KindReg {
+			st[o.Reg] = v
+		}
+	}
+	switch in.Op {
+	case isa.MOV:
+		set(in.Dst, operandConst(in.Src, st))
+	case isa.MOVB:
+		if in.Dst.Kind == isa.KindReg {
+			old := st[in.Dst.Reg]
+			src := operandConst(in.Src, st)
+			if old.kind == cConst && src.kind == cConst {
+				st[in.Dst.Reg] = konst((old.v &^ 0xFF) | (src.v & 0xFF))
+			} else {
+				st[in.Dst.Reg] = nac()
+			}
+		}
+	case isa.LEA:
+		set(in.Dst, nac())
+	case isa.POP:
+		set(in.Dst, nac())
+		st[isa.ESP] = alu(isa.ADD, st[isa.ESP], konst(4))
+	case isa.PUSH:
+		st[isa.ESP] = alu(isa.SUB, st[isa.ESP], konst(4))
+	case isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR, isa.SHL, isa.SHR:
+		set(in.Dst, alu(in.Op, operandConst(in.Dst, st), operandConst(in.Src, st)))
+	case isa.INC:
+		set(in.Dst, alu(isa.ADD, operandConst(in.Dst, st), konst(1)))
+	case isa.DEC:
+		set(in.Dst, alu(isa.SUB, operandConst(in.Dst, st), konst(1)))
+	case isa.CALL:
+		st[isa.ESP] = alu(isa.SUB, st[isa.ESP], konst(4))
+	case isa.RET:
+		st[isa.ESP] = alu(isa.ADD, st[isa.ESP], konst(4))
+	case isa.CALLAPI:
+		st[isa.EAX] = nac()
+		// Stdcall: the callee pops its arguments, so ESP moves by an
+		// amount the instruction states; the return-value write is the
+		// only register effect.
+		st[isa.ESP] = alu(isa.ADD, st[isa.ESP], konst(uint32(4*in.NArgs)))
+	}
+	return st
+}
+
+// alu evaluates a binary ALU operation on lattice values with the
+// emulator's exact wrap/shift-mask semantics.
+func alu(op isa.Opcode, a, b cval) cval {
+	if a.kind != cConst || b.kind != cConst {
+		return nac()
+	}
+	var v uint32
+	switch op {
+	case isa.ADD:
+		v = a.v + b.v
+	case isa.SUB:
+		v = a.v - b.v
+	case isa.XOR:
+		v = a.v ^ b.v
+	case isa.AND:
+		v = a.v & b.v
+	case isa.OR:
+		v = a.v | b.v
+	case isa.SHL:
+		v = a.v << (b.v & 31)
+	case isa.SHR:
+		v = a.v >> (b.v & 31)
+	default:
+		return nac()
+	}
+	return konst(v)
+}
+
+// ConstAt reports register r's value before instruction i, if the pass
+// proved it constant on every path.
+func (cp *ConstProp) ConstAt(i int, r isa.Reg) (uint32, bool) {
+	c := cp.in[i][r]
+	return c.v, c.kind == cConst
+}

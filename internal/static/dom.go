@@ -1,0 +1,101 @@
+package static
+
+// DomTree is the dominator tree of a CFG, computed with the
+// Cooper–Harvey–Kennedy iterative algorithm over reverse postorder.
+// Unreachable blocks have no dominator information (Idom -1).
+type DomTree struct {
+	cfg *CFG
+	// Idom maps each block to its immediate dominator (-1 for the
+	// entry block and for unreachable blocks).
+	Idom []int
+	// rpoIndex maps block ID -> position in RPO (-1 if unreachable).
+	rpoIndex []int
+}
+
+// Dominators computes the dominator tree.
+func Dominators(cfg *CFG) *DomTree {
+	d := &DomTree{
+		cfg:      cfg,
+		Idom:     make([]int, cfg.NumBlocks()),
+		rpoIndex: make([]int, cfg.NumBlocks()),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.rpoIndex[i] = -1
+	}
+	if cfg.NumBlocks() == 0 {
+		return d
+	}
+	for i, b := range cfg.RPO {
+		d.rpoIndex[b] = i
+	}
+	entry := cfg.RPO[0]
+	d.Idom[entry] = entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.RPO[1:] {
+			// First processed predecessor.
+			newIdom := -1
+			for _, p := range cfg.Blocks[b].Preds {
+				if d.rpoIndex[p] < 0 || d.Idom[p] < 0 {
+					continue // unreachable or not yet processed
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = d.intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	// The entry's idom is conventionally itself during iteration;
+	// expose it as -1 (no dominator) to callers.
+	d.Idom[entry] = -1
+	return d
+}
+
+// intersect walks two blocks up the (partial) dominator tree to their
+// common ancestor, ordering by RPO index.
+func (d *DomTree) intersect(a, b int) int {
+	for a != b {
+		for d.rpoIndex[a] > d.rpoIndex[b] {
+			a = d.idomOrSelf(a)
+		}
+		for d.rpoIndex[b] > d.rpoIndex[a] {
+			b = d.idomOrSelf(b)
+		}
+	}
+	return a
+}
+
+// idomOrSelf treats the entry (idom -1 post-fixup, self during
+// iteration) as its own dominator so intersect terminates.
+func (d *DomTree) idomOrSelf(b int) int {
+	if d.Idom[b] < 0 {
+		return b
+	}
+	return d.Idom[b]
+}
+
+// Dominates reports whether block a dominates block b. A block
+// dominates itself. Unreachable blocks dominate nothing and are
+// dominated by nothing.
+func (d *DomTree) Dominates(a, b int) bool {
+	if d.rpoIndex[a] < 0 || d.rpoIndex[b] < 0 {
+		return false
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.Idom[b]
+		if next < 0 || next == b {
+			return false
+		}
+		b = next
+	}
+}

@@ -1,0 +1,34 @@
+package static
+
+// BackwardSlice computes the static backward slice from the
+// instruction at pc: the set of instruction indices whose effects may
+// flow into pc's inputs, transitively, along any CFG path. pc itself
+// is included.
+//
+// This over-approximates the dynamic backward slicing of determinism
+// analysis (internal/determinism.Extract): a dynamic slice walks one
+// executed path demanding concrete byte ranges, while this walk
+// demands abstract locations over every path with weak memory
+// updates. The soundness cross-check test asserts the containment on
+// the whole corpus: every instruction the dynamic slicer keeps is in
+// the static slice of its criterion.
+func (d *DefUse) BackwardSlice(pc int) map[int]bool {
+	slice := make(map[int]bool)
+	work := []int{pc}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if slice[i] {
+			continue
+		}
+		slice[i] = true
+		for _, u := range d.uses[i] {
+			for _, def := range d.DefsOf(i, u) {
+				if !slice[def] {
+					work = append(work, def)
+				}
+			}
+		}
+	}
+	return slice
+}

@@ -1,0 +1,277 @@
+package static
+
+import (
+	"autovac/internal/isa"
+	"autovac/internal/winapi"
+)
+
+// TaintFlow is the static counterpart of the emulator's dynamic taint
+// pass: a forward MAY analysis that decides, per resource-API
+// callsite, whether data produced by the call can possibly reach a
+// cmp/test predicate. Phase-I uses it to skip emulating samples it
+// proves candidate-free.
+//
+// The abstraction mirrors the dynamic semantics from above:
+//
+//   - every CALLAPI whose label marks it a taint source (a labelled
+//     resource API or a semantic/random data source) may taint EAX and
+//     any memory its implementation writes (the coarse LMem cell,
+//     which aliases all symbolic items);
+//   - resource APIs set an abstract last-error cell that GetLastError
+//     reads back into EAX (the emulator's lastErrTaint);
+//   - taint propagates through MOV/ALU/stack traffic along the same
+//     use/def sets the reaching-definitions pass derives, with the
+//     `xor r, r` clear idiom and MOVB's partial-register weakness
+//     modelled exactly as the emulator does;
+//   - a CMP/TEST whose inputs may be tainted marks every contributing
+//     source as predicate-reachable (the dynamic pipeline's
+//     PredicateHit).
+//
+// Whatever source the emulator observes in a tainted predicate is
+// therefore predicate-reachable here; the reverse need not hold.
+type TaintFlow struct {
+	cfg *CFG
+	// Sources lists the pcs of taint-allocating CALLAPI instructions,
+	// ascending — the callsites Phase-I could turn into candidates.
+	Sources []int
+	// ResourceSources lists the subset of Sources whose API touches a
+	// labelled resource namespace.
+	ResourceSources []int
+	srcIdx          map[int]int
+	reach           []bool
+}
+
+// taintState carries, per abstract location, the set of sources whose
+// taint may currently live there. Index len(locs) is the abstract
+// last-error cell.
+type taintState []bitset
+
+// BuildTaintFlow runs the forward taint fixpoint. APIs absent from the
+// registry contribute nothing (the emulator faults on them before any
+// predicate could fire).
+func BuildTaintFlow(cfg *CFG, reg *winapi.Registry) *TaintFlow {
+	if reg == nil {
+		reg = winapi.Standard()
+	}
+	tf := &TaintFlow{cfg: cfg, srcIdx: make(map[int]int)}
+	prog := cfg.Prog
+	for pc, in := range prog.Instrs {
+		if in.Op != isa.CALLAPI {
+			continue
+		}
+		spec, ok := reg.Lookup(in.API)
+		if !ok {
+			continue
+		}
+		if spec.IsResource() || spec.Label.Class != winapi.ClassNone {
+			tf.srcIdx[pc] = len(tf.Sources)
+			tf.Sources = append(tf.Sources, pc)
+			if spec.IsResource() {
+				tf.ResourceSources = append(tf.ResourceSources, pc)
+			}
+		}
+	}
+	tf.reach = make([]bool, len(tf.Sources))
+	if len(tf.Sources) == 0 || cfg.NumBlocks() == 0 {
+		return tf
+	}
+
+	// Location universe: registers, flags, coarse memory, symbols, and
+	// the abstract last-error cell.
+	locID := make(map[Loc]int)
+	var locs []Loc
+	intern := func(l Loc) int {
+		if id, ok := locID[l]; ok {
+			return id
+		}
+		locID[l] = len(locs)
+		locs = append(locs, l)
+		return locID[l]
+	}
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		intern(RegLoc(r))
+	}
+	intern(FlagsLoc())
+	intern(MemLoc())
+	for _, item := range prog.Data {
+		intern(SymLoc(item.Name))
+	}
+	lastErr := len(locs)
+	nl := len(locs) + 1
+	ns := len(tf.Sources)
+
+	newState := func() taintState {
+		st := make(taintState, nl)
+		for i := range st {
+			st[i] = newBitset(ns)
+		}
+		return st
+	}
+	cloneState := func(s taintState) taintState {
+		c := make(taintState, nl)
+		for i := range s {
+			c[i] = s[i].clone()
+		}
+		return c
+	}
+
+	// read returns the taint visible to a use of l, folding aliasing.
+	read := func(st taintState, l Loc) bitset {
+		acc := newBitset(ns)
+		if id, ok := locID[l]; ok {
+			acc.or(st[id])
+		}
+		switch l.Kind {
+		case LSym:
+			acc.or(st[locID[MemLoc()]])
+		case LMem:
+			for _, item := range prog.Data {
+				acc.or(st[locID[SymLoc(item.Name)]])
+			}
+		}
+		return acc
+	}
+
+	// transfer applies instruction i; when record is non-nil it receives
+	// predicate-contributing sources.
+	transfer := func(i int, st taintState, record func(bitset)) {
+		in := prog.Instrs[i]
+		uses, defs := effects(in)
+		t := newBitset(ns)
+		for _, u := range uses {
+			t.or(read(st, u))
+		}
+		switch {
+		case in.Op == isa.XOR && in.Dst.Kind == isa.KindReg &&
+			in.Src.Kind == isa.KindReg && in.Dst.Reg == in.Src.Reg:
+			// The taint-clearing idiom: result and flags are untainted.
+			st[locID[RegLoc(in.Dst.Reg)]].clear()
+			st[locID[FlagsLoc()]].clear()
+			return
+		case in.Op.IsPredicate():
+			st[locID[FlagsLoc()]] = t
+			if record != nil {
+				record(t)
+			}
+			return
+		case in.Op == isa.CALLAPI:
+			spec, ok := reg.Lookup(in.API)
+			if !ok {
+				return
+			}
+			if in.API == "GetLastError" {
+				t.or(st[lastErr])
+			}
+			if idx, isSrc := tf.srcIdx[i]; isSrc {
+				t.set(idx)
+			}
+			// EAX strong (the emulator overwrites its taint); memory
+			// weak (implementations write output buffers).
+			st[locID[RegLoc(isa.EAX)]] = t.clone()
+			st[locID[MemLoc()]].or(t)
+			if spec.IsResource() {
+				// Failure provenance for later GetLastError reads.
+				fresh := newBitset(ns)
+				if idx, isSrc := tf.srcIdx[i]; isSrc {
+					fresh.set(idx)
+				}
+				st[lastErr] = fresh
+			}
+			return
+		}
+		weak := in.Op == isa.MOVB
+		for _, dl := range defs {
+			id := locID[dl]
+			switch dl.Kind {
+			case LReg, LFlags:
+				if dl.Kind == LReg && dl.Reg == isa.ESP &&
+					(in.Op == isa.PUSH || in.Op == isa.POP ||
+						in.Op == isa.CALL || in.Op == isa.RET) {
+					// Stack-pointer arithmetic never carries data taint.
+					continue
+				}
+				if weak {
+					st[id].or(t)
+				} else {
+					st[id] = t.clone()
+				}
+			default:
+				st[id].or(t) // memory: weak
+			}
+		}
+	}
+
+	ins := make([]taintState, cfg.NumBlocks())
+	outs := make([]taintState, cfg.NumBlocks())
+	for b := range ins {
+		ins[b] = newState()
+		outs[b] = newState()
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bi := range cfg.RPO {
+			b := cfg.Blocks[bi]
+			for _, p := range b.Preds {
+				for l := range ins[bi] {
+					if ins[bi][l].or(outs[p][l]) {
+						changed = true
+					}
+				}
+			}
+			st := cloneState(ins[bi])
+			for i := b.Start; i < b.End; i++ {
+				transfer(i, st, nil)
+			}
+			for l := range st {
+				if outs[bi][l].or(st[l]) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Final pass: record which sources feed predicates.
+	for _, bi := range cfg.RPO {
+		b := cfg.Blocks[bi]
+		st := cloneState(ins[bi])
+		for i := b.Start; i < b.End; i++ {
+			transfer(i, st, func(t bitset) {
+				for _, s := range t.indices() {
+					tf.reach[s] = true
+				}
+			})
+		}
+	}
+	return tf
+}
+
+// PredicateReachable reports whether the taint source allocated at the
+// given CALLAPI pc may reach a cmp/test predicate. Unknown pcs report
+// false.
+func (tf *TaintFlow) PredicateReachable(pc int) bool {
+	idx, ok := tf.srcIdx[pc]
+	return ok && tf.reach[idx]
+}
+
+// AnyPredicateReachable reports whether any source may reach a
+// predicate — the sample-level Phase-I pre-filter signal.
+func (tf *TaintFlow) AnyPredicateReachable() bool {
+	for _, r := range tf.reach {
+		if r {
+			return true
+		}
+	}
+	return false
+}
+
+// MayHaveCandidates statically decides whether Phase-I emulation of the
+// program could yield any candidate (a taint source observed in a
+// tainted predicate). A false result is a proof of absence under the
+// analysis' over-approximation; true means "cannot rule it out".
+func MayHaveCandidates(p *isa.Program, reg *winapi.Registry) (bool, error) {
+	cfg, err := BuildCFG(p)
+	if err != nil {
+		return false, err
+	}
+	return BuildTaintFlow(cfg, reg).AnyPredicateReachable(), nil
+}

@@ -1,0 +1,138 @@
+package static_test
+
+import (
+	"testing"
+
+	"autovac/internal/isa"
+	"autovac/internal/static"
+)
+
+func flowOf(t *testing.T, p *isa.Program) *static.TaintFlow {
+	t.Helper()
+	cfg, err := static.BuildCFG(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return static.BuildTaintFlow(cfg, nil)
+}
+
+func TestTaintFlowDirectResultToPredicate(t *testing.T) {
+	// The classic vaccine shape: open a mutex, branch on the handle.
+	b := isa.NewBuilder("direct")
+	mu := b.RData("mu", `Global\INFECT-7`)
+	b.CallAPI("OpenMutexA", isa.Sym(mu)) // pc 0: push, pc 1: callapi
+	b.Cmp(isa.R(isa.EAX), isa.Imm(0)).
+		Jz("skip").
+		Halt().
+		Label("skip").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := flowOf(t, p)
+	if len(tf.Sources) != 1 {
+		t.Fatalf("Sources = %v, want one callsite", tf.Sources)
+	}
+	if !tf.PredicateReachable(tf.Sources[0]) {
+		t.Error("direct EAX->cmp flow not predicate-reachable")
+	}
+	if !tf.AnyPredicateReachable() {
+		t.Error("AnyPredicateReachable = false")
+	}
+}
+
+func TestTaintFlowOverwrittenResultIsNotReachable(t *testing.T) {
+	// The call's result is clobbered before any compare, and the
+	// compare consumes an untainted register: no candidate possible.
+	b := isa.NewBuilder("clobbered")
+	mu := b.RData("mu", `Global\X`)
+	b.CallAPI("OpenMutexA", isa.Sym(mu))
+	b.Mov(isa.R(isa.EAX), isa.Imm(0)).
+		Cmp(isa.R(isa.EBX), isa.Imm(1)).
+		Jz("skip").
+		Halt().
+		Label("skip").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := flowOf(t, p)
+	if tf.AnyPredicateReachable() {
+		t.Error("clobbered result reported predicate-reachable")
+	}
+	may, err := static.MayHaveCandidates(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if may {
+		t.Error("MayHaveCandidates = true for a provably candidate-free program")
+	}
+}
+
+func TestTaintFlowThroughGetLastError(t *testing.T) {
+	// The result register is clobbered but the branch reads the
+	// last-error channel the resource API set — still a candidate.
+	b := isa.NewBuilder("lasterr")
+	mu := b.RData("mu", `Global\X`)
+	b.CallAPI("OpenMutexA", isa.Sym(mu))
+	b.Mov(isa.R(isa.EAX), isa.Imm(0))
+	b.CallAPI("GetLastError")
+	b.Cmp(isa.R(isa.EAX), isa.Imm(2)).
+		Jz("skip").
+		Halt().
+		Label("skip").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := flowOf(t, p)
+	if len(tf.ResourceSources) != 1 {
+		t.Fatalf("ResourceSources = %v, want the OpenMutexA callsite", tf.ResourceSources)
+	}
+	if !tf.PredicateReachable(tf.ResourceSources[0]) {
+		t.Error("last-error flow not predicate-reachable")
+	}
+}
+
+func TestTaintFlowXorClearStopsPropagation(t *testing.T) {
+	// xor eax, eax is the emulator's taint-clearing idiom; the compare
+	// afterwards consumes clean data.
+	b := isa.NewBuilder("xorclear")
+	mu := b.RData("mu", `Global\X`)
+	b.CallAPI("OpenMutexA", isa.Sym(mu))
+	b.Xor(isa.R(isa.EAX), isa.R(isa.EAX)).
+		Cmp(isa.R(isa.EAX), isa.Imm(0)).
+		Jz("skip").
+		Halt().
+		Label("skip").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flowOf(t, p).AnyPredicateReachable() {
+		t.Error("xor-cleared result reported predicate-reachable")
+	}
+}
+
+func TestTaintFlowThroughMemoryAndRegisters(t *testing.T) {
+	// Result spilled to memory, reloaded into another register, then
+	// compared: the MAY analysis must keep the flow alive.
+	b := isa.NewBuilder("spill")
+	mu := b.RData("mu", `Global\X`)
+	b.Buf("save", 4)
+	b.CallAPI("OpenMutexA", isa.Sym(mu))
+	b.Mov(isa.MemSym("save"), isa.R(isa.EAX)).
+		Mov(isa.R(isa.EDX), isa.MemSym("save")).
+		Test(isa.R(isa.EDX), isa.R(isa.EDX)).
+		Jnz("found").
+		Halt().
+		Label("found").Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := flowOf(t, p)
+	if !tf.AnyPredicateReachable() {
+		t.Error("spill/reload flow lost by the static taint analysis")
+	}
+}

@@ -162,6 +162,9 @@ type AnalysisStats struct {
 	Panicked int
 	// Skipped counts samples never started (cancellation/error budget).
 	Skipped int
+	// StaticallyFiltered counts samples the static taint pre-filter
+	// proved candidate-free, skipping their Phase-I emulation.
+	StaticallyFiltered int `json:",omitempty"`
 	// WallMillis is the run's wall time in milliseconds.
 	WallMillis int64
 }
@@ -173,6 +176,7 @@ func (a *AnalysisStats) Add(b AnalysisStats) {
 	a.Failed += b.Failed
 	a.Panicked += b.Panicked
 	a.Skipped += b.Skipped
+	a.StaticallyFiltered += b.StaticallyFiltered
 	a.WallMillis += b.WallMillis
 }
 

@@ -1,0 +1,43 @@
+package vaccine
+
+import (
+	"fmt"
+
+	"autovac/internal/static"
+)
+
+// VerifyReplayable statically verifies that the vaccine is safe to
+// deploy to end hosts. For algorithm-deterministic vaccines this runs
+// the slice verifier (internal/static): the identifier-regeneration
+// slice must terminate, stay inside mapped memory, balance its stack,
+// and call only deterministic side-effect-free APIs. Vaccines without
+// a slice have nothing to replay and pass vacuously.
+//
+// This is deliberately separate from Validate: Validate checks record
+// consistency (cheap, shape-only), while VerifyReplayable proves a
+// behavioural property of the embedded program. Distribution gates
+// (pack construction, fleet publication) require both.
+func (v *Vaccine) VerifyReplayable() error {
+	if v.Slice == nil {
+		return nil
+	}
+	if err := static.VerifySlice(v.Slice.Program, v.Slice.ResultAddr, nil); err != nil {
+		return fmt.Errorf("vaccine %s: %w", v.ID, err)
+	}
+	return nil
+}
+
+// Verify checks every vaccine in the pack: record consistency
+// (Validate) plus slice replayability (VerifyReplayable). Packs must
+// pass before being written to disk or published to a fleet registry.
+func (p *Pack) Verify() error {
+	for i := range p.Vaccines {
+		if err := p.Vaccines[i].Validate(); err != nil {
+			return err
+		}
+		if err := p.Vaccines[i].VerifyReplayable(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
