@@ -352,9 +352,11 @@ func BenchmarkSliceReplay(b *testing.B) {
 		b.Fatal(err)
 	}
 	env := winenv.New(winenv.DefaultIdentity())
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sl.Replay(env.Clone(), benchSeed); err != nil {
+		// Replay rewinds the environment itself; no per-iteration clone.
+		if _, err := sl.Replay(env, benchSeed); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -419,6 +421,7 @@ func BenchmarkEmulator(b *testing.B) {
 		b.Fatal(err)
 	}
 	env := winenv.New(winenv.DefaultIdentity())
+	b.ReportAllocs()
 	b.ResetTimer()
 	steps := 0
 	for i := 0; i < b.N; i++ {
@@ -432,6 +435,7 @@ func BenchmarkEmulator(b *testing.B) {
 		steps += tr.StepCount
 	}
 	b.ReportMetric(float64(steps)/float64(b.N), "instrs/op")
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
 }
 
 // BenchmarkEmulatorWithSteps measures the instruction-level recording
@@ -442,13 +446,47 @@ func BenchmarkEmulatorWithSteps(b *testing.B) {
 		b.Fatal(err)
 	}
 	env := winenv.New(winenv.DefaultIdentity())
+	b.ReportAllocs()
 	b.ResetTimer()
+	steps := 0
 	for i := 0; i < b.N; i++ {
-		if _, err := emu.Run(sample.Program, env.Clone(),
-			emu.Options{Seed: benchSeed, RecordSteps: true}); err != nil {
+		tr, err := emu.Run(sample.Program, env.Clone(),
+			emu.Options{Seed: benchSeed, RecordSteps: true})
+		if err != nil {
 			b.Fatal(err)
 		}
+		steps += tr.StepCount
 	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// BenchmarkEmulatorPooled measures steady-state throughput through the
+// Runner arena — the shape Phase-II impact analysis actually runs
+// (environment snapshot/rewind instead of per-run construction).
+func BenchmarkEmulatorPooled(b *testing.B) {
+	sample, err := malware.NewGenerator(benchSeed).FamilySample(malware.Zeus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := emu.NewRunner(sample.Program, winenv.New(winenv.DefaultIdentity()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		tr, err := r.Run(emu.Options{Seed: benchSeed})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.Exit == trace.ExitFault {
+			b.Fatal(tr.Fault)
+		}
+		steps += tr.StepCount
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/sec")
 }
 
 // BenchmarkCorpusGeneration measures synthesizing the full paper-scale

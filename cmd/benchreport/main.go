@@ -44,9 +44,16 @@ func run(args []string) error {
 		prefil = fs.Bool("prefilter", false, "run the static pre-filter study (prefilter on vs off)")
 		all    = fs.Bool("all", false, "regenerate everything")
 		bdrCap = fs.Int("bdrcap", 10, "max vaccines measured per effect class for Figure 4")
+		bench  = fs.Bool("bench", false, "run the emulator bench trajectory and write -benchout")
+		bout   = fs.String("benchout", "BENCH_emu.json", "machine-readable bench output path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *bench {
+		// The bench trajectory builds its own fixtures; skip the corpus
+		// setup the report paths need.
+		return runBench(*bout)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil {
 		*all = true

@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"autovac/internal/core"
+	"autovac/internal/exclusive"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+)
+
+// The emulator's performance layers (predecoded dispatch, sparse taint
+// shadows, pooled replay arenas) must not change any observable
+// behaviour. These constants were captured by running the identical
+// corpus through the pipeline BEFORE those layers existed: the
+// composite hash covers every sample's normal trace, candidate list,
+// and vaccine fingerprints in analysis order; the pack digest covers
+// the generated vaccine set. Any divergence — one reordered access
+// record, one different taint decision, one changed slice — changes
+// the hashes.
+const (
+	goldenSeed      = 42
+	goldenCorpus    = 64
+	goldenComposite = "f183caaccab32106dd1b74ba83758a63143d86716676c695e3d71efd699ec330"
+	goldenPackDig   = "6be75ad714da93a1e20a15671b398448b10fdaf51f62a95ee52745e7ccd1b290"
+	goldenVaccines  = 137
+	goldenCands     = 402
+	goldenSlices    = 8
+)
+
+func TestGoldenPipelineByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden corpus run is slow; skipped with -short")
+	}
+	benign, err := malware.BenignCorpus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := exclusive.BuildIndex(benign, goldenSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := core.New(core.Config{Seed: goldenSeed, Index: ix})
+	samples, err := malware.NewGenerator(goldenSeed).Corpus(goldenCorpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	pack := &vaccine.Pack{Generator: "golden"}
+	nCand, nSlice := 0, 0
+	for _, s := range samples {
+		res, err := p.Analyze(s)
+		if err != nil {
+			t.Fatalf("analyze %s: %v", s.Program.Name, err)
+		}
+		b, _ := json.Marshal(res.Profile.Normal)
+		h.Write(b)
+		b, _ = json.Marshal(res.Profile.Candidates)
+		h.Write(b)
+		nCand += len(res.Profile.Candidates)
+		for _, v := range res.Vaccines {
+			h.Write([]byte(v.Fingerprint()))
+			if v.Slice != nil {
+				nSlice++
+			}
+		}
+		pack.Vaccines = append(pack.Vaccines, res.Vaccines...)
+	}
+	if got := fmt.Sprintf("%x", h.Sum(nil)); got != goldenComposite {
+		t.Errorf("composite hash diverged from seed behaviour:\n got %s\nwant %s", got, goldenComposite)
+	}
+	if got := pack.Digest(); got != goldenPackDig {
+		t.Errorf("pack digest diverged from seed behaviour:\n got %s\nwant %s", got, goldenPackDig)
+	}
+	if len(pack.Vaccines) != goldenVaccines || nCand != goldenCands || nSlice != goldenSlices {
+		t.Errorf("counts diverged: vaccines=%d (want %d) candidates=%d (want %d) slices=%d (want %d)",
+			len(pack.Vaccines), goldenVaccines, nCand, goldenCands, nSlice, goldenSlices)
+	}
+}

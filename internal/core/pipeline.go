@@ -195,6 +195,16 @@ type Result struct {
 	ClinicRejections []clinic.Rejection
 }
 
+// phase2Arena holds the pooled execution state shared by every
+// candidate of one Phase-II pass: a Runner that rewinds the sample's
+// mutated re-executions instead of rebuilding CPU and environment per
+// candidate, and one environment reused across slice sanity replays
+// (Replay rewinds it itself).
+type phase2Arena struct {
+	runner    *emu.Runner
+	replayEnv *winenv.Env
+}
+
 // Phase2 generates vaccines from a profile: exclusiveness → impact →
 // determinism, then the clinic test.
 func (p *Pipeline) Phase2(prof *Profile) (*Result, error) {
@@ -202,8 +212,19 @@ func (p *Pipeline) Phase2(prof *Profile) (*Result, error) {
 	merged := make(map[string]*vaccine.Vaccine)
 	var order []string
 
+	arena := &phase2Arena{}
+	if len(prof.Candidates) > 0 {
+		runner, err := emu.NewRunner(prof.Sample.Program, winenv.New(p.cfg.Identity))
+		if err != nil {
+			return nil, fmt.Errorf("core: phase2 %s: %w", prof.Sample.Name(), err)
+		}
+		defer runner.Close()
+		arena.runner = runner
+		arena.replayEnv = winenv.New(p.cfg.Identity)
+	}
+
 	for _, cand := range prof.Candidates {
-		v, rej := p.generateOne(prof, cand)
+		v, rej := p.generateOne(prof, cand, arena)
 		if rej != nil {
 			res.Rejected = append(res.Rejected, *rej)
 			continue
@@ -294,8 +315,8 @@ func mergeOps(a, b string) string {
 }
 
 // generateOne runs exclusiveness, impact, and determinism analysis for
-// a single candidate.
-func (p *Pipeline) generateOne(prof *Profile, cand Candidate) (*vaccine.Vaccine, *Rejection) {
+// a single candidate, drawing executions from the shared Phase-II arena.
+func (p *Pipeline) generateOne(prof *Profile, cand Candidate, arena *phase2Arena) (*vaccine.Vaccine, *Rejection) {
 	call := cand.Call
 	kind, err := winenv.ParseKind(call.ResourceKind)
 	if err != nil {
@@ -324,7 +345,7 @@ func (p *Pipeline) generateOne(prof *Profile, cand Candidate) (*vaccine.Vaccine,
 	var best *impact.Result
 	var bestMode emu.MutationMode
 	for _, mode := range modes {
-		mutated, err := emu.Run(prof.Sample.Program, winenv.New(p.cfg.Identity), emu.Options{
+		mutated, err := arena.runner.Run(emu.Options{
 			Seed:     p.cfg.Seed,
 			MaxSteps: p.cfg.Phase1Steps,
 			Registry: p.registry,
@@ -392,7 +413,7 @@ func (p *Pipeline) generateOne(prof *Profile, cand Candidate) (*vaccine.Vaccine,
 		}
 		// Sanity: the slice replays to the observed identifier on the
 		// analysis machine.
-		got, err := sl.Replay(winenv.New(p.cfg.Identity), p.cfg.Seed)
+		got, err := sl.Replay(arena.replayEnv, p.cfg.Seed)
 		if err != nil || !strings.EqualFold(got, call.Identifier) {
 			return nil, &Rejection{
 				Candidate: cand, Stage: "determinism",

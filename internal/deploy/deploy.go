@@ -32,9 +32,9 @@ func ResolveIdentifier(env *winenv.Env, v *vaccine.Vaccine, seed uint64) (string
 		if v.Slice == nil {
 			return "", fmt.Errorf("deploy: %s: missing slice", v.ID)
 		}
-		// Replay against a clone: the slice must not perturb the live
-		// host while computing the name.
-		ident, err := v.Slice.Replay(env.Clone(), seed)
+		// Replay rewinds its own side effects, so the live host is not
+		// perturbed while computing the name.
+		ident, err := v.Slice.Replay(env, seed)
 		if err != nil {
 			return "", fmt.Errorf("deploy: %s: %w", v.ID, err)
 		}

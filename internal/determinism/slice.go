@@ -162,12 +162,20 @@ func Extract(prog *isa.Program, tr *trace.Trace, seq int) (*Slice, error) {
 // Replay executes the slice against an end host's environment and
 // returns the regenerated identifier. The seed only drives APIs the
 // slice should not contain (a slice with random dependencies would have
-// been discarded as non-deterministic).
+// been discarded as non-deterministic). The environment is snapshotted
+// and rewound around the execution, so a replay leaves no side effects
+// behind and one environment can serve many replays.
 func (s *Slice) Replay(env *winenv.Env, seed uint64) (string, error) {
+	snap := env.Snapshot()
+	defer func() {
+		env.Reset(snap)
+		snap.Close()
+	}()
 	c, err := emu.New(s.Program, env, emu.Options{Seed: seed})
 	if err != nil {
 		return "", fmt.Errorf("determinism: replay setup: %w", err)
 	}
+	defer c.Release()
 	tr := c.Execute()
 	if tr.Exit == trace.ExitFault {
 		return "", fmt.Errorf("determinism: slice replay faulted: %s", tr.Fault)

@@ -16,20 +16,20 @@ import (
 // dispatch, taint application per the API's label, call logging with
 // calling context, and the stdcall argument pop. It returns the
 // APICall's sequence number.
-func (c *CPU) callAPI(pc int, in isa.Instr) (int, error) {
-	spec, ok := c.registry.Lookup(in.API)
+func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
+	spec, ok := c.registry.Lookup(in.api)
 	if !ok {
-		return -1, fmt.Errorf("emu: unknown API %q at pc %d", in.API, pc)
+		return -1, fmt.Errorf("emu: unknown API %q at pc %d", in.api, pc)
 	}
-	if spec.NArgs != winapi.Variadic && spec.NArgs != in.NArgs {
+	if spec.NArgs != winapi.Variadic && spec.NArgs != in.nArgs {
 		return -1, fmt.Errorf("emu: %s expects %d args, call site passes %d (pc %d)",
-			in.API, spec.NArgs, in.NArgs, pc)
+			in.api, spec.NArgs, in.nArgs, pc)
 	}
 
 	// Collect stack arguments ([esp] is the first).
-	args := make([]winapi.Arg, in.NArgs)
+	args := make([]winapi.Arg, in.nArgs)
 	esp := c.reg[isa.ESP]
-	for i := 0; i < in.NArgs; i++ {
+	for i := 0; i < in.nArgs; i++ {
 		addr := esp + uint32(4*i)
 		v, t, err := c.mem.readWord(addr)
 		if err != nil {
@@ -80,7 +80,7 @@ func (c *CPU) callAPI(pc int, in isa.Instr) (int, error) {
 	// Dispatch, or force the result when a mutation matches.
 	var out winapi.Outcome
 	mutated := false
-	if mu := c.findMutation(in.API, pc, identifier); mu != nil {
+	if mu := c.findMutation(in.api, pc, identifier); mu != nil {
 		mutated = true
 		out = c.applyMutation(label, *mu, args, src)
 	} else {
@@ -101,7 +101,7 @@ func (c *CPU) callAPI(pc int, in isa.Instr) (int, error) {
 	}
 	if hasSource {
 		info := taint.SourceInfo{
-			API:      in.API,
+			API:      in.api,
 			CallerPC: pc,
 			Seq:      c.apiSeq,
 			Success:  out.Success,
@@ -122,7 +122,7 @@ func (c *CPU) callAPI(pc int, in isa.Instr) (int, error) {
 	if hasSource && label.Taint != winapi.TaintNone {
 		retTaint = retTaint.Union(src)
 	}
-	if in.API == "GetLastError" {
+	if in.api == "GetLastError" {
 		// The error code's provenance is the call that set it, so
 		// error-handling branches register as tainted predicates.
 		retTaint = retTaint.Union(c.lastErrTaint)
@@ -139,7 +139,7 @@ func (c *CPU) callAPI(pc int, in isa.Instr) (int, error) {
 	// Build the call record with calling context.
 	call := trace.APICall{
 		Seq:       c.apiSeq,
-		API:       in.API,
+		API:       in.api,
 		CallerPC:  pc,
 		CallStack: append([]int(nil), c.callStack...),
 		Ret:       out.Ret,
@@ -170,7 +170,7 @@ func (c *CPU) callAPI(pc int, in isa.Instr) (int, error) {
 	c.apiSeq++
 
 	// stdcall: the callee pops its arguments.
-	c.reg[isa.ESP] = esp + uint32(4*in.NArgs)
+	c.reg[isa.ESP] = esp + uint32(4*in.nArgs)
 
 	// Self-termination.
 	if out.Exit != winapi.ExitNone {

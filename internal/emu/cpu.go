@@ -1,8 +1,6 @@
 package emu
 
 import (
-	"fmt"
-
 	"autovac/internal/isa"
 	"autovac/internal/taint"
 	"autovac/internal/trace"
@@ -121,6 +119,7 @@ const DefaultMaxSteps = 200_000
 // winapi.Machine.
 type CPU struct {
 	prog     *isa.Program
+	code     []dInstr
 	env      *winenv.Env
 	registry *winapi.Registry
 	opts     Options
@@ -140,9 +139,12 @@ type CPU struct {
 	apiSeq       int
 	lastErrTaint taint.Set
 
-	// Per-step access collection (active when RecordSteps).
-	curReads  []trace.Access
-	curWrites []trace.Access
+	// Per-step access collection (active when RecordSteps);
+	// accessArena is the chunked backing store the per-step records
+	// are carved from.
+	curReads    []trace.Access
+	curWrites   []trace.Access
+	accessArena []trace.Access
 
 	done     bool
 	exitCode uint32
@@ -151,10 +153,13 @@ type CPU struct {
 }
 
 // New prepares an execution of prog against env. The environment is
-// used in place (callers clone if they need isolation).
+// used in place (callers clone if they need isolation). The program's
+// predecoded form is cached, so repeat executions of one program skip
+// validation, symbol resolution, and data layout.
 func New(prog *isa.Program, env *winenv.Env, opts Options) (*CPU, error) {
-	if err := prog.Validate(); err != nil {
-		return nil, fmt.Errorf("emu: %w", err)
+	d, err := decodedFor(prog)
+	if err != nil {
+		return nil, err
 	}
 	if opts.MaxSteps <= 0 {
 		opts.MaxSteps = DefaultMaxSteps
@@ -164,10 +169,12 @@ func New(prog *isa.Program, env *winenv.Env, opts Options) (*CPU, error) {
 	}
 	c := &CPU{
 		prog:     prog,
+		code:     d.instrs,
 		env:      env,
 		registry: opts.Registry,
 		opts:     opts,
-		mem:      &memory{},
+		mem:      newMemoryFrom(d),
+		symbols:  d.symbols,
 		table:    &taint.Table{},
 		tr: &trace.Trace{
 			Program: prog.Name,
@@ -175,9 +182,59 @@ func New(prog *isa.Program, env *winenv.Env, opts Options) (*CPU, error) {
 		},
 		rngState: opts.Seed ^ uint64(hashName(prog.Name))<<1 | 1,
 	}
-	c.symbols = c.mem.loadProgram(prog)
 	c.reg[isa.ESP] = StackTop
 	return c, nil
+}
+
+// resetFor rewinds the CPU to its freshly-constructed state under new
+// options, reusing every buffer: the memory image (pristine data,
+// cleared shadows), the pooled stack, the taint table, and the access
+// arena's free tail. The caller is responsible for resetting the
+// environment.
+func (c *CPU) resetFor(opts Options) {
+	if opts.MaxSteps <= 0 {
+		opts.MaxSteps = DefaultMaxSteps
+	}
+	if opts.Registry == nil {
+		// Reuse the previous run's registry instead of rebuilding the
+		// standard set: registries are stateless across runs, and this
+		// keeps the steady-state reset allocation-free.
+		opts.Registry = c.opts.Registry
+	}
+	c.registry = opts.Registry
+	c.opts = opts
+	c.reg = [isa.NumRegs]uint32{}
+	c.regTaint = [isa.NumRegs]taint.Set{}
+	c.zf, c.sf = false, false
+	c.flagsTaint = taint.Set{}
+	c.pc = 0
+	c.callStack = c.callStack[:0]
+	c.rngState = opts.Seed ^ uint64(hashName(c.prog.Name))<<1 | 1
+	c.table.Reset()
+	c.tr = &trace.Trace{
+		Program: c.prog.Name,
+		Mutated: len(opts.Mutations) > 0,
+	}
+	c.apiSeq = 0
+	c.lastErrTaint = taint.Set{}
+	c.curReads = c.curReads[:0]
+	c.curWrites = c.curWrites[:0]
+	c.done = false
+	c.exitCode = 0
+	c.exitKind = 0
+	c.fault = ""
+	c.mem.reset()
+	c.reg[isa.ESP] = StackTop
+}
+
+// Release returns the CPU's pooled buffers (the stack segment). The CPU
+// must not execute or access memory afterwards; traces already returned
+// remain valid (they never alias emulator memory).
+func (c *CPU) Release() {
+	if c.mem != nil {
+		c.mem.release()
+		c.mem = nil
+	}
 }
 
 // hashName is FNV-1a over the program name, mixed into the PRNG seed so
@@ -198,7 +255,9 @@ func Run(prog *isa.Program, env *winenv.Env, opts Options) (*trace.Trace, error)
 	if err != nil {
 		return nil, err
 	}
-	return c.Execute(), nil
+	tr := c.Execute()
+	c.Release()
+	return tr, nil
 }
 
 // Trace returns the trace being built.

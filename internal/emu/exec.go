@@ -18,8 +18,8 @@ func (c *CPU) Execute() *trace.Trace {
 			c.exitKind = trace.ExitLimit
 			break
 		}
-		if c.pc < 0 || c.pc >= len(c.prog.Instrs) {
-			if c.pc == len(c.prog.Instrs) {
+		if c.pc < 0 || c.pc >= len(c.code) {
+			if c.pc == len(c.code) {
 				// Falling off the end is a normal stop.
 				c.exitKind = trace.ExitHalt
 			} else {
@@ -46,9 +46,9 @@ func (c *CPU) faultf(format string, args ...interface{}) {
 	c.fault = fmt.Sprintf(format, args...)
 }
 
-// step executes one instruction.
+// step executes one predecoded instruction.
 func (c *CPU) step() error {
-	in := c.prog.Instrs[c.pc]
+	in := &c.code[c.pc]
 	pc := c.pc
 	c.tr.StepCount++
 
@@ -60,38 +60,38 @@ func (c *CPU) step() error {
 	taken := false
 
 	next := pc + 1
-	switch in.Op {
+	switch in.op {
 	case isa.NOP:
 
 	case isa.MOV:
-		v, t, err := c.readOperand(in.Src)
+		v, t, err := c.readOperand(in.src)
 		if err != nil {
 			return err
 		}
-		if err := c.writeOperand(in.Dst, v, t); err != nil {
+		if err := c.writeOperand(in.dst, v, t); err != nil {
 			return err
 		}
 
 	case isa.MOVB:
-		v, t, err := c.readOperandByte(in.Src)
+		v, t, err := c.readOperandByte(in.src)
 		if err != nil {
 			return err
 		}
-		if err := c.writeOperandByte(in.Dst, v, t); err != nil {
+		if err := c.writeOperandByte(in.dst, v, t); err != nil {
 			return err
 		}
 
 	case isa.LEA:
-		addr, t, err := c.effectiveAddr(in.Src)
+		addr, t, err := c.effectiveAddr(in.src)
 		if err != nil {
 			return err
 		}
-		if err := c.writeOperand(in.Dst, addr, t); err != nil {
+		if err := c.writeOperand(in.dst, addr, t); err != nil {
 			return err
 		}
 
 	case isa.PUSH:
-		v, t, err := c.readOperand(in.Dst)
+		v, t, err := c.readOperand(in.dst)
 		if err != nil {
 			return err
 		}
@@ -104,21 +104,21 @@ func (c *CPU) step() error {
 		if err != nil {
 			return err
 		}
-		if err := c.writeOperand(in.Dst, v, t); err != nil {
+		if err := c.writeOperand(in.dst, v, t); err != nil {
 			return err
 		}
 
 	case isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR, isa.SHL, isa.SHR:
-		a, ta, err := c.readOperand(in.Dst)
+		a, ta, err := c.readOperand(in.dst)
 		if err != nil {
 			return err
 		}
-		b, tb, err := c.readOperand(in.Src)
+		b, tb, err := c.readOperand(in.src)
 		if err != nil {
 			return err
 		}
 		var v uint32
-		switch in.Op {
+		switch in.op {
 		case isa.ADD:
 			v = a + b
 		case isa.SUB:
@@ -135,40 +135,40 @@ func (c *CPU) step() error {
 			v = a >> (b & 31)
 		}
 		t := ta.Union(tb)
-		// x XOR x is the classic taint-clearing idiom.
-		if in.Op == isa.XOR && in.Dst == in.Src {
+		// x XOR x is the classic taint-clearing idiom (predecoded).
+		if in.clearsTaint {
 			t = taint.Set{}
 		}
-		if err := c.writeOperand(in.Dst, v, t); err != nil {
+		if err := c.writeOperand(in.dst, v, t); err != nil {
 			return err
 		}
 		c.setFlags(v, t)
 
 	case isa.INC, isa.DEC:
-		a, ta, err := c.readOperand(in.Dst)
+		a, ta, err := c.readOperand(in.dst)
 		if err != nil {
 			return err
 		}
 		v := a + 1
-		if in.Op == isa.DEC {
+		if in.op == isa.DEC {
 			v = a - 1
 		}
-		if err := c.writeOperand(in.Dst, v, ta); err != nil {
+		if err := c.writeOperand(in.dst, v, ta); err != nil {
 			return err
 		}
 		c.setFlags(v, ta)
 
 	case isa.CMP, isa.TEST:
-		a, ta, err := c.readOperand(in.Dst)
+		a, ta, err := c.readOperand(in.dst)
 		if err != nil {
 			return err
 		}
-		b, tb, err := c.readOperand(in.Src)
+		b, tb, err := c.readOperand(in.src)
 		if err != nil {
 			return err
 		}
 		var v uint32
-		if in.Op == isa.CMP {
+		if in.op == isa.CMP {
 			v = a - b
 		} else {
 			v = a & b
@@ -184,13 +184,13 @@ func (c *CPU) step() error {
 		}
 
 	case isa.JMP:
-		next = c.prog.Labels()[in.Target]
+		next = in.target
 		taken = true
 
 	case isa.JZ, isa.JNZ, isa.JL, isa.JGE:
 		c.noteRead(trace.FlagsLoc(), flagBits(c.zf, c.sf), nil)
 		var jump bool
-		switch in.Op {
+		switch in.op {
 		case isa.JZ:
 			jump = c.zf
 		case isa.JNZ:
@@ -200,11 +200,11 @@ func (c *CPU) step() error {
 		case isa.JGE:
 			jump = !c.sf
 		}
-		if c.invertBranch(pc) {
+		if len(c.opts.InvertBranches) > 0 && c.invertBranch(pc) {
 			jump = !jump
 		}
 		if jump {
-			next = c.prog.Labels()[in.Target]
+			next = in.target
 			taken = true
 		}
 
@@ -213,7 +213,7 @@ func (c *CPU) step() error {
 			return err
 		}
 		c.callStack = append(c.callStack, pc+1)
-		next = c.prog.Labels()[in.Target]
+		next = in.target
 
 	case isa.RET:
 		v, _, err := c.pop()
@@ -238,22 +238,46 @@ func (c *CPU) step() error {
 		c.exitKind = trace.ExitHalt
 
 	default:
-		return fmt.Errorf("emu: unknown opcode %v at pc %d", in.Op, pc)
+		return fmt.Errorf("emu: unknown opcode %v at pc %d", in.op, pc)
 	}
 
 	if c.opts.RecordSteps {
 		c.tr.Steps = append(c.tr.Steps, trace.Step{
 			Index:  len(c.tr.Steps),
 			PC:     pc,
-			Instr:  in,
-			Reads:  append([]trace.Access(nil), c.curReads...),
-			Writes: append([]trace.Access(nil), c.curWrites...),
+			Instr:  c.prog.Instrs[pc],
+			Reads:  c.claimAccesses(c.curReads),
+			Writes: c.claimAccesses(c.curWrites),
 			APISeq: apiSeq,
 			Taken:  taken,
 		})
 	}
 	c.pc = next
 	return nil
+}
+
+// accessChunkSize is the arena granularity for step access records.
+const accessChunkSize = 4096
+
+// claimAccesses copies the staged per-step accesses into the CPU's
+// access arena and returns a capacity-capped subslice. The seed code
+// allocated two fresh slices per recorded step; the arena amortises
+// that to one allocation per accessChunkSize records. Chunks are never
+// pooled — the returned subslices escape into the retained trace.
+func (c *CPU) claimAccesses(src []trace.Access) []trace.Access {
+	if len(src) == 0 {
+		return nil
+	}
+	if len(c.accessArena)+len(src) > cap(c.accessArena) {
+		n := accessChunkSize
+		if len(src) > n {
+			n = len(src)
+		}
+		c.accessArena = make([]trace.Access, 0, n)
+	}
+	start := len(c.accessArena)
+	c.accessArena = append(c.accessArena, src...)
+	return c.accessArena[start:len(c.accessArena):len(c.accessArena)]
 }
 
 // invertBranch reports whether forced execution inverts the branch at
@@ -288,49 +312,38 @@ func flagBits(zf, sf bool) uint32 {
 }
 
 // effectiveAddr computes a memory operand's address and the taint of the
-// address computation (from the base register).
-func (c *CPU) effectiveAddr(o isa.Operand) (uint32, taint.Set, error) {
-	if o.Kind != isa.KindMem {
-		return 0, taint.Set{}, fmt.Errorf("emu: effectiveAddr on %v operand", o.Kind)
+// address computation (from the base register). The symbol displacement
+// was folded into o.val at predecode.
+func (c *CPU) effectiveAddr(o dOperand) (uint32, taint.Set, error) {
+	if o.kind != isa.KindMem {
+		return 0, taint.Set{}, fmt.Errorf("emu: effectiveAddr on %v operand", o.kind)
 	}
-	addr := o.Imm
+	addr := o.val
 	var t taint.Set
-	if o.Sym != "" {
-		base, ok := c.symbols[o.Sym]
-		if !ok {
-			return 0, taint.Set{}, fmt.Errorf("emu: unknown symbol %q", o.Sym)
-		}
-		addr += base
-	}
-	if o.HasBase {
-		addr += c.reg[o.Reg]
-		t = c.regTaint[o.Reg]
-		c.noteRead(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
+	if o.hasBase {
+		addr += c.reg[o.reg]
+		t = c.regTaint[o.reg]
+		c.noteRead(trace.RegLoc(o.reg), c.reg[o.reg], nil)
 	}
 	return addr, t, nil
 }
 
 // readOperand reads a 32-bit operand value with taint, recording the
 // access.
-func (c *CPU) readOperand(o isa.Operand) (uint32, taint.Set, error) {
-	switch o.Kind {
+func (c *CPU) readOperand(o dOperand) (uint32, taint.Set, error) {
+	switch o.kind {
 	case isa.KindReg:
-		c.noteRead(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
-		return c.reg[o.Reg], c.regTaint[o.Reg], nil
+		c.noteRead(trace.RegLoc(o.reg), c.reg[o.reg], nil)
+		return c.reg[o.reg], c.regTaint[o.reg], nil
 	case isa.KindImm:
-		v := o.Imm
-		if o.Sym != "" {
-			base, ok := c.symbols[o.Sym]
-			if !ok {
-				return 0, taint.Set{}, fmt.Errorf("emu: unknown symbol %q", o.Sym)
-			}
-			v += base
-		}
-		return v, taint.Set{}, nil
+		return o.val, taint.Set{}, nil
 	case isa.KindMem:
-		addr, at, err := c.effectiveAddr(o)
-		if err != nil {
-			return 0, taint.Set{}, err
+		addr := o.val
+		var at taint.Set
+		if o.hasBase {
+			addr += c.reg[o.reg]
+			at = c.regTaint[o.reg]
+			c.noteRead(trace.RegLoc(o.reg), c.reg[o.reg], nil)
 		}
 		v, t, err := c.mem.readWord(addr)
 		if err != nil {
@@ -339,18 +352,18 @@ func (c *CPU) readOperand(o isa.Operand) (uint32, taint.Set, error) {
 		c.noteRead(trace.MemLoc(addr, 4), v, nil)
 		return v, t.Union(at), nil
 	default:
-		return 0, taint.Set{}, fmt.Errorf("emu: read of %v operand", o.Kind)
+		return 0, taint.Set{}, fmt.Errorf("emu: read of %v operand", o.kind)
 	}
 }
 
 // readOperandByte reads an 8-bit operand value with taint.
-func (c *CPU) readOperandByte(o isa.Operand) (uint32, taint.Set, error) {
-	switch o.Kind {
+func (c *CPU) readOperandByte(o dOperand) (uint32, taint.Set, error) {
+	switch o.kind {
 	case isa.KindReg:
-		c.noteRead(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
-		return c.reg[o.Reg] & 0xFF, c.regTaint[o.Reg], nil
+		c.noteRead(trace.RegLoc(o.reg), c.reg[o.reg], nil)
+		return c.reg[o.reg] & 0xFF, c.regTaint[o.reg], nil
 	case isa.KindImm:
-		return o.Imm & 0xFF, taint.Set{}, nil
+		return o.val & 0xFF, taint.Set{}, nil
 	case isa.KindMem:
 		addr, at, err := c.effectiveAddr(o)
 		if err != nil {
@@ -363,17 +376,17 @@ func (c *CPU) readOperandByte(o isa.Operand) (uint32, taint.Set, error) {
 		c.noteRead(trace.MemLoc(addr, 1), uint32(b), nil)
 		return uint32(b), t.Union(at), nil
 	default:
-		return 0, taint.Set{}, fmt.Errorf("emu: byte read of %v operand", o.Kind)
+		return 0, taint.Set{}, fmt.Errorf("emu: byte read of %v operand", o.kind)
 	}
 }
 
 // writeOperand writes a 32-bit value with taint, recording the access.
-func (c *CPU) writeOperand(o isa.Operand, v uint32, t taint.Set) error {
-	switch o.Kind {
+func (c *CPU) writeOperand(o dOperand, v uint32, t taint.Set) error {
+	switch o.kind {
 	case isa.KindReg:
-		c.reg[o.Reg] = v
-		c.regTaint[o.Reg] = t
-		c.noteWrite(trace.RegLoc(o.Reg), v, nil)
+		c.reg[o.reg] = v
+		c.regTaint[o.reg] = t
+		c.noteWrite(trace.RegLoc(o.reg), v, nil)
 		return nil
 	case isa.KindMem:
 		addr, _, err := c.effectiveAddr(o)
@@ -386,17 +399,17 @@ func (c *CPU) writeOperand(o isa.Operand, v uint32, t taint.Set) error {
 		c.noteWrite(trace.MemLoc(addr, 4), v, nil)
 		return nil
 	default:
-		return fmt.Errorf("emu: write to %v operand", o.Kind)
+		return fmt.Errorf("emu: write to %v operand", o.kind)
 	}
 }
 
 // writeOperandByte writes an 8-bit value with taint.
-func (c *CPU) writeOperandByte(o isa.Operand, v uint32, t taint.Set) error {
-	switch o.Kind {
+func (c *CPU) writeOperandByte(o dOperand, v uint32, t taint.Set) error {
+	switch o.kind {
 	case isa.KindReg:
-		c.reg[o.Reg] = (c.reg[o.Reg] &^ 0xFF) | (v & 0xFF)
-		c.regTaint[o.Reg] = c.regTaint[o.Reg].Union(t)
-		c.noteWrite(trace.RegLoc(o.Reg), c.reg[o.Reg], nil)
+		c.reg[o.reg] = (c.reg[o.reg] &^ 0xFF) | (v & 0xFF)
+		c.regTaint[o.reg] = c.regTaint[o.reg].Union(t)
+		c.noteWrite(trace.RegLoc(o.reg), c.reg[o.reg], nil)
 		return nil
 	case isa.KindMem:
 		addr, _, err := c.effectiveAddr(o)
@@ -409,7 +422,7 @@ func (c *CPU) writeOperandByte(o isa.Operand, v uint32, t taint.Set) error {
 		c.noteWrite(trace.MemLoc(addr, 1), v&0xFF, nil)
 		return nil
 	default:
-		return fmt.Errorf("emu: byte write to %v operand", o.Kind)
+		return fmt.Errorf("emu: byte write to %v operand", o.kind)
 	}
 }
 

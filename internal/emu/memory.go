@@ -8,6 +8,8 @@ package emu
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"autovac/internal/isa"
 	"autovac/internal/taint"
@@ -29,22 +31,117 @@ const (
 // ErrBadAccess is wrapped by memory faults.
 var ErrBadAccess = fmt.Errorf("emu: bad memory access")
 
-// segment is one mapped memory range with per-byte taint.
+// Taint shadows are kept in sparse pages allocated on first tainted
+// write. A fully untainted run (the common case: benign programs, slice
+// replays, most samples before their first resource API) never touches
+// a shadow, and an untainted 64 KB stack costs nothing instead of a
+// 1.5 MB pointer-ful array the GC has to scan.
+const (
+	shadowPageBits = 10 // 1 KiB of bytes per shadow page
+	shadowPageSize = 1 << shadowPageBits
+	shadowPageMask = shadowPageSize - 1
+)
+
+// segment is one mapped memory range with a sparse copy-on-write taint
+// shadow.
 type segment struct {
 	base     uint32
 	data     []byte
-	taint    []taint.Set
 	readOnly bool
 	name     string
+
+	// anyTaint is the segment-level fast path: while false, every byte
+	// of the segment is untainted and loads skip shadow lookups
+	// entirely.
+	anyTaint bool
+	// shadow holds lazily allocated per-page taint arrays; a nil page
+	// is all-untainted. Read-only segments never allocate shadows
+	// (writes to them fault before reaching the taint store).
+	shadow [][]taint.Set
+
+	// pristine is the loader-initialised content, shared across runs
+	// for reset; nil means all-zero (the stack).
+	pristine []byte
+	// pooled marks a data buffer borrowed from stackPool, returned by
+	// release.
+	pooled bool
 }
 
 func (s *segment) contains(addr uint32) bool {
 	return addr >= s.base && addr < s.base+uint32(len(s.data))
 }
 
-// memory is a small segmented address space.
+// taintAt returns the taint of one byte.
+func (s *segment) taintAt(off uint32) taint.Set {
+	if !s.anyTaint {
+		return taint.Set{}
+	}
+	pg := s.shadow[off>>shadowPageBits]
+	if pg == nil {
+		return taint.Set{}
+	}
+	return pg[off&shadowPageMask]
+}
+
+// setTaint stores the taint of one byte, allocating the shadow page on
+// the first tainted write. Storing the empty set is free while the
+// segment (or the page) has never been tainted.
+func (s *segment) setTaint(off uint32, t taint.Set) {
+	if t.Empty() {
+		if !s.anyTaint {
+			return
+		}
+		pg := s.shadow[off>>shadowPageBits]
+		if pg == nil {
+			return
+		}
+		pg[off&shadowPageMask] = taint.Set{}
+		return
+	}
+	if s.shadow == nil {
+		s.shadow = make([][]taint.Set, (len(s.data)+shadowPageSize-1)>>shadowPageBits)
+	}
+	s.anyTaint = true
+	i := off >> shadowPageBits
+	pg := s.shadow[i]
+	if pg == nil {
+		pg = make([]taint.Set, shadowPageSize)
+		s.shadow[i] = pg
+	}
+	pg[off&shadowPageMask] = t
+}
+
+// resetShadow clears every allocated shadow page, keeping the pages for
+// reuse so the next run of a pooled execution pays no allocation.
+func (s *segment) resetShadow() {
+	if !s.anyTaint {
+		return
+	}
+	for _, pg := range s.shadow {
+		if pg != nil {
+			clear(pg)
+		}
+	}
+	s.anyTaint = false
+}
+
+// stackPool recycles stack-segment buffers across executions. With
+// lazy shadows the 64 KB stack array is the dominant per-run
+// allocation; pooling it makes repeated Phase-II replays alloc-free.
+var stackPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, int(StackSize)+16)
+		return &b
+	},
+}
+
+// memory is a small segmented address space. Segments are kept sorted
+// by base; find answers from a last-hit cache first and falls back to
+// binary search (the linear scan it replaces showed up in profiles at
+// one lookup per executed memory operand).
 type memory struct {
 	segs []*segment
+	last *segment
 }
 
 // mapSegment adds a mapping. Segments must not overlap; the loader
@@ -53,20 +150,41 @@ func (m *memory) mapSegment(name string, base uint32, size int, readOnly bool) *
 	s := &segment{
 		base:     base,
 		data:     make([]byte, size),
-		taint:    make([]taint.Set, size),
 		readOnly: readOnly,
 		name:     name,
 	}
-	m.segs = append(m.segs, s)
+	m.insert(s)
 	return s
+}
+
+// insert places a segment in base order and invalidates the lookup
+// cache.
+func (m *memory) insert(s *segment) {
+	i := sort.Search(len(m.segs), func(i int) bool { return m.segs[i].base > s.base })
+	m.segs = append(m.segs, nil)
+	copy(m.segs[i+1:], m.segs[i:])
+	m.segs[i] = s
+	m.last = nil
 }
 
 // find locates the segment containing addr.
 func (m *memory) find(addr uint32) (*segment, error) {
-	for _, s := range m.segs {
-		if s.contains(addr) {
-			return s, nil
+	if s := m.last; s != nil && s.contains(addr) {
+		return s, nil
+	}
+	lo, hi := 0, len(m.segs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		s := m.segs[mid]
+		if addr >= s.base+uint32(len(s.data)) {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(m.segs) && m.segs[lo].contains(addr) {
+		m.last = m.segs[lo]
+		return m.segs[lo], nil
 	}
 	return nil, fmt.Errorf("%w: address %#x unmapped", ErrBadAccess, addr)
 }
@@ -90,7 +208,10 @@ func (m *memory) readByte(addr uint32) (byte, taint.Set, error) {
 		return 0, taint.Set{}, err
 	}
 	off := addr - s.base
-	return s.data[off], s.taint[off], nil
+	if !s.anyTaint {
+		return s.data[off], taint.Set{}, nil
+	}
+	return s.data[off], s.taintAt(off), nil
 }
 
 // writeByte writes one byte with taint, enforcing read-only segments.
@@ -104,7 +225,7 @@ func (m *memory) writeByte(addr uint32, v byte, t taint.Set) error {
 	}
 	off := addr - s.base
 	s.data[off] = v
-	s.taint[off] = t
+	s.setTaint(off, t)
 	return nil
 }
 
@@ -117,7 +238,10 @@ func (m *memory) readWord(addr uint32) (uint32, taint.Set, error) {
 	off := addr - s.base
 	v := uint32(s.data[off]) | uint32(s.data[off+1])<<8 |
 		uint32(s.data[off+2])<<16 | uint32(s.data[off+3])<<24
-	t := s.taint[off].Union(s.taint[off+1]).Union(s.taint[off+2]).Union(s.taint[off+3])
+	if !s.anyTaint {
+		return v, taint.Set{}, nil
+	}
+	t := s.taintAt(off).Union(s.taintAt(off + 1)).Union(s.taintAt(off + 2)).Union(s.taintAt(off + 3))
 	return v, t, nil
 }
 
@@ -135,8 +259,11 @@ func (m *memory) writeWord(addr uint32, v uint32, t taint.Set) error {
 	s.data[off+1] = byte(v >> 8)
 	s.data[off+2] = byte(v >> 16)
 	s.data[off+3] = byte(v >> 24)
+	if t.Empty() && !s.anyTaint {
+		return nil
+	}
 	for i := uint32(0); i < 4; i++ {
-		s.taint[off+i] = t
+		s.setTaint(off+i, t)
 	}
 	return nil
 }
@@ -153,8 +280,10 @@ func (m *memory) readBytes(addr, n uint32) ([]byte, taint.Set, error) {
 	off := addr - s.base
 	out := append([]byte(nil), s.data[off:off+n]...)
 	var t taint.Set
-	for i := uint32(0); i < n; i++ {
-		t = t.Union(s.taint[off+i])
+	if s.anyTaint {
+		for i := uint32(0); i < n; i++ {
+			t = t.Union(s.taintAt(off + i))
+		}
 	}
 	return out, t, nil
 }
@@ -173,8 +302,11 @@ func (m *memory) writeBytes(addr uint32, b []byte, t taint.Set) error {
 	}
 	off := addr - s.base
 	copy(s.data[off:], b)
+	if t.Empty() && !s.anyTaint {
+		return nil
+	}
 	for i := range b {
-		s.taint[off+uint32(i)] = t
+		s.setTaint(off+uint32(i), t)
 	}
 	return nil
 }
@@ -210,13 +342,67 @@ func (m *memory) byteTaints(addr, n uint32) ([]taint.Set, error) {
 		return nil, err
 	}
 	off := addr - s.base
-	return append([]taint.Set(nil), s.taint[off:off+n]...), nil
+	out := make([]taint.Set, n)
+	if s.anyTaint {
+		for i := uint32(0); i < n; i++ {
+			out[i] = s.taintAt(off + i)
+		}
+	}
+	return out, nil
 }
 
 // inReadOnly reports whether addr lies in a read-only segment.
 func (m *memory) inReadOnly(addr uint32) bool {
 	s, err := m.find(addr)
 	return err == nil && s.readOnly
+}
+
+// reset restores every writable segment to its loader state — pristine
+// data, no taint — keeping all buffers (and any allocated shadow pages)
+// for the next run. Read-only segments are skipped: writes to them
+// fault, so they cannot have changed.
+func (m *memory) reset() {
+	for _, s := range m.segs {
+		if s.readOnly {
+			continue
+		}
+		if s.pristine != nil {
+			copy(s.data, s.pristine)
+		} else {
+			clear(s.data)
+		}
+		s.resetShadow()
+	}
+	m.last = nil
+}
+
+// release returns pooled buffers. The memory must not be used
+// afterwards.
+func (m *memory) release() {
+	for _, s := range m.segs {
+		if s.pooled {
+			buf := s.data
+			s.data = nil
+			s.pooled = false
+			stackPool.Put(&buf)
+		}
+	}
+	m.segs = nil
+	m.last = nil
+}
+
+// mapStack maps the stack segment from the buffer pool.
+func (m *memory) mapStack() {
+	bp := stackPool.Get().(*[]byte)
+	buf := *bp
+	clear(buf)
+	s := &segment{
+		base:   StackTop - StackSize,
+		data:   buf,
+		name:   "stack",
+		pooled: true,
+	}
+	m.insert(s)
 }
 
 // loadProgram maps a program's data items and returns the symbol table.
@@ -240,18 +426,44 @@ func (m *memory) loadProgram(p *isa.Program) map[string]uint32 {
 		for _, d := range items {
 			total += len(d.Data) + 16 // guard padding between items
 		}
-		seg := m.mapSegment(segName, *next, total, false)
+		seg := m.mapSegment(segName, *next, total, ro)
 		off := uint32(0)
 		for _, d := range items {
 			symbols[d.Name] = seg.base + off
 			copy(seg.data[off:], d.Data)
 			off += uint32(len(d.Data)) + 16
 		}
-		seg.readOnly = ro
+		if !ro {
+			seg.pristine = append([]byte(nil), seg.data...)
+		}
 		*next += uint32(total)
 	}
 	place(roItems, &roNext, true, ".rdata")
 	place(rwItems, &rwNext, false, ".data")
 	m.mapSegment("stack", StackTop-StackSize, int(StackSize)+16, false)
 	return symbols
+}
+
+// newMemoryFrom builds an address space from a program's predecoded
+// load images: the read-only image is shared (writes to it fault before
+// touching data), the writable image is copied, and the stack comes
+// from the buffer pool.
+func newMemoryFrom(d *decoded) *memory {
+	m := &memory{}
+	for _, img := range d.segs {
+		s := &segment{
+			base:     img.base,
+			readOnly: img.readOnly,
+			name:     img.name,
+		}
+		if img.readOnly {
+			s.data = img.image
+		} else {
+			s.data = append([]byte(nil), img.image...)
+			s.pristine = img.image
+		}
+		m.insert(s)
+	}
+	m.mapStack()
+	return m
 }

@@ -110,6 +110,147 @@ func TestMemoryByteTaints(t *testing.T) {
 	}
 }
 
+func TestFindCacheInvalidatedByMapSegment(t *testing.T) {
+	m := &memory{}
+	a := m.mapSegment("a", 0x1000, 64, false)
+	// Warm the last-hit cache on "a".
+	if s, err := m.find(0x1010); err != nil || s != a {
+		t.Fatalf("find(0x1010) = %v, %v", s, err)
+	}
+	// Mapping segments below and above must invalidate the cache and
+	// keep the base-sorted order binary search depends on.
+	lo := m.mapSegment("lo", 0x100, 16, false)
+	hi := m.mapSegment("hi", 0x3000, 16, true)
+	for _, tc := range []struct {
+		addr uint32
+		want *segment
+	}{
+		{0x100, lo}, {0x10F, lo},
+		{0x1000, a}, {0x103F, a},
+		{0x3000, hi}, {0x300F, hi},
+	} {
+		s, err := m.find(tc.addr)
+		if err != nil || s != tc.want {
+			t.Errorf("find(%#x) = %v, %v; want segment %q", tc.addr, s, err, tc.want.name)
+		}
+	}
+	// Gap and out-of-range addresses fault regardless of what the cache
+	// last held.
+	for _, addr := range []uint32{0x0FF, 0x110, 0x800, 0x1040, 0x2FFF, 0x3010} {
+		if _, err := m.find(addr); err == nil {
+			t.Errorf("find(%#x) succeeded in a gap", addr)
+		}
+	}
+}
+
+func TestFindRangeCrossSegmentFaults(t *testing.T) {
+	m := &memory{}
+	m.mapSegment("a", 0x1000, 64, false)
+	m.mapSegment("b", 0x1040, 64, false) // directly adjacent
+	// Ranges wholly inside one segment work, including at the seam.
+	if _, err := m.findRange(0x103C, 4); err != nil {
+		t.Errorf("in-segment range: %v", err)
+	}
+	if _, err := m.findRange(0x1040, 4); err != nil {
+		t.Errorf("range at next segment start: %v", err)
+	}
+	// A range straddling the boundary faults even though every byte of
+	// it is mapped — segments are distinct objects.
+	if _, err := m.findRange(0x103E, 4); err == nil || !strings.Contains(err.Error(), "crosses segment") {
+		t.Errorf("straddling findRange: %v", err)
+	}
+	if _, _, err := m.readWord(0x103E); err == nil {
+		t.Error("straddling readWord succeeded")
+	}
+	if err := m.writeWord(0x103E, 1, taint.Set{}); err == nil {
+		t.Error("straddling writeWord succeeded")
+	}
+	if _, _, err := m.readBytes(0x1030, 32); err == nil {
+		t.Error("straddling readBytes succeeded")
+	}
+}
+
+func TestResetClearsShadowNoTaintLeak(t *testing.T) {
+	m := &memory{}
+	m.mapSegment("rw", 0x1000, 4*shadowPageSize, false)
+	s := m.segs[0]
+	// Run N: taint bytes on two distinct shadow pages.
+	if err := m.writeByte(0x1000+5, 0xAA, taint.Of(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.writeByte(0x1000+2*shadowPageSize+7, 0xBB, taint.Of(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.anyTaint {
+		t.Fatal("anyTaint not set by tainted write")
+	}
+	if s.shadow[0] == nil || s.shadow[2] == nil {
+		t.Fatal("touched shadow pages not allocated")
+	}
+	if s.shadow[1] != nil || s.shadow[3] != nil {
+		t.Error("untouched shadow pages allocated eagerly")
+	}
+
+	// Run N+1 starts from reset: neither data nor taint may leak.
+	m.reset()
+	if s.anyTaint {
+		t.Error("anyTaint survived reset")
+	}
+	b, tnt, err := m.readByte(0x1000 + 5)
+	if err != nil || b != 0 || !tnt.Empty() {
+		t.Errorf("after reset: byte=%#x taint=%v err=%v", b, tnt, err)
+	}
+	taints, err := m.byteTaints(0x1000, uint32(len(s.data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, set := range taints {
+		if !set.Empty() {
+			t.Fatalf("taint leaked across reset at offset %d: %v", i, set)
+		}
+	}
+	// Pages are retained for reuse (cleared, not freed).
+	if s.shadow[0] == nil || s.shadow[2] == nil {
+		t.Error("reset freed shadow pages instead of clearing them")
+	}
+	// Re-tainting after reset works on the recycled pages.
+	if err := m.writeByte(0x1000+5, 0xCC, taint.Of(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, tnt, _ := m.readByte(0x1000 + 5); !tnt.Has(3) || tnt.Has(1) {
+		t.Errorf("recycled page taint = %v", tnt)
+	}
+}
+
+func TestReadOnlySegmentsNeverAllocateShadows(t *testing.T) {
+	b := isa.NewBuilder("ro-shadow")
+	b.RData("k", "constant")
+	b.Buf("buf", 32)
+	b.Halt()
+	m := &memory{}
+	symbols := m.loadProgram(b.MustBuild())
+	for _, s := range m.segs {
+		if s.shadow != nil || s.anyTaint {
+			t.Errorf("segment %q has eager shadow state after load", s.name)
+		}
+	}
+	// Reads keep .rdata shadow-free, and tainted writes to it fault
+	// before reaching the taint store.
+	if _, _, err := m.readCString(symbols["k"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.writeByte(symbols["k"], 'x', taint.Of(1)); err == nil {
+		t.Error("write to .rdata succeeded")
+	}
+	ro, err := m.find(symbols["k"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.shadow != nil || ro.anyTaint {
+		t.Error(".rdata allocated a taint shadow")
+	}
+}
+
 func TestLoadProgramLayout(t *testing.T) {
 	b := isa.NewBuilder("layout")
 	b.RData("ro1", "const-one")

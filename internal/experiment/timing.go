@@ -44,6 +44,10 @@ type Timing struct {
 	// daemon and with the paper's 119 partial-static vaccines.
 	HookBaseline time.Duration
 	HookWith119  time.Duration
+	// EmulatorStepsPerSec is the raw emulated-instruction throughput of
+	// pooled re-execution — the multiplier under Phase-I profiling,
+	// Phase-II impact re-runs, and slice replays alike.
+	EmulatorStepsPerSec float64
 }
 
 // HookAddedCost returns the absolute per-operation cost the 119-pattern
@@ -155,6 +159,27 @@ func (s *Setup) MeasureTiming(sampleBudget int) (*Timing, error) {
 	// Hook overhead: per-op cost with no daemon vs 119 patterns.
 	tm.HookBaseline = hookCost(s, 0)
 	tm.HookWith119 = hookCost(s, 119)
+
+	// Raw emulator throughput through a pooled Runner — the Phase-II
+	// steady-state shape (one arena, many runs).
+	runner, err := emu.NewRunner(zeus.Program, winenv.New(s.Pipeline.Identity()))
+	if err != nil {
+		return nil, err
+	}
+	defer runner.Close()
+	const emuReps = 200
+	steps := 0
+	start = time.Now()
+	for i := 0; i < emuReps; i++ {
+		tr, err := runner.Run(emu.Options{Seed: s.Pipeline.Seed(), Registry: s.Pipeline.Registry()})
+		if err != nil {
+			return nil, err
+		}
+		steps += tr.StepCount
+	}
+	if el := time.Since(start); el > 0 {
+		tm.EmulatorStepsPerSec = float64(steps) / el.Seconds()
+	}
 	return tm, nil
 }
 
@@ -210,6 +235,8 @@ func RenderTiming(tm *Timing) string {
 	row("resource op, no daemon", "-", tm.HookBaseline)
 	row("resource op, 119 daemon patterns", "<4.5% ovh", tm.HookWith119)
 	row("daemon cost added per same-namespace op", "", tm.HookAddedCost())
+	fmt.Fprintf(&b, "%-44s %-12s %.2f Minstr/s\n",
+		"emulator throughput (pooled re-execution)", "-", tm.EmulatorStepsPerSec/1e6)
 	b.WriteString("(relative hook ratios do not transfer from an in-memory substrate;\n")
 	b.WriteString(" against a ~10µs real syscall the added cost stays in the paper's band)\n")
 	return b.String()

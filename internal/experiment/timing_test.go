@@ -34,8 +34,11 @@ func TestMeasureTiming(t *testing.T) {
 	if tm.HookAddedCost() < 0 || tm.HookAddedCost() > time.Millisecond {
 		t.Errorf("added hook cost = %v", tm.HookAddedCost())
 	}
+	if tm.EmulatorStepsPerSec <= 0 {
+		t.Errorf("emulator throughput = %v", tm.EmulatorStepsPerSec)
+	}
 	text := RenderTiming(tm)
-	for _, frag := range []string{"789 s", "214 s", "25.7 s", "373 static"} {
+	for _, frag := range []string{"789 s", "214 s", "25.7 s", "373 static", "Minstr/s"} {
 		if !strings.Contains(text, frag) {
 			t.Errorf("render missing %q", frag)
 		}

@@ -3,6 +3,7 @@ package isa
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // DataItem is one named blob in a program's data segment.
@@ -27,6 +28,28 @@ type Program struct {
 	Data []DataItem
 
 	labels map[string]int // label -> instruction index
+
+	// aux caches one auxiliary artifact derived from the program (the
+	// emulator's predecoded execution form). Write-once; safe for
+	// concurrent use.
+	aux atomic.Value
+}
+
+// Aux returns the auxiliary artifact cached on the program, or nil.
+// Programs are immutable once built, so an artifact derived from the
+// instruction stream and data items never goes stale.
+func (p *Program) Aux() any {
+	return p.aux.Load()
+}
+
+// SetAux publishes an auxiliary artifact and returns the winner: under
+// a concurrent first use the first stored value sticks and every caller
+// observes it. All callers must store values of one concrete type.
+func (p *Program) SetAux(v any) any {
+	if p.aux.CompareAndSwap(nil, v) {
+		return v
+	}
+	return p.aux.Load()
 }
 
 // Labels returns the mapping from label to instruction index, computing

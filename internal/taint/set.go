@@ -220,6 +220,11 @@ func (t *Table) Info(src Source) (SourceInfo, bool) {
 // Len returns the number of allocated labels.
 func (t *Table) Len() int { return len(t.infos) }
 
+// Reset forgets every label while keeping the backing storage, so a
+// pooled execution can reuse the table without reallocating. Records
+// previously handed out by All are unaffected (All copies).
+func (t *Table) Reset() { t.infos = t.infos[:0] }
+
 // All returns every source record, ordered by label.
 func (t *Table) All() []SourceInfo {
 	return append([]SourceInfo(nil), t.infos...)

@@ -94,6 +94,9 @@ type Env struct {
 	// logEvents controls event recording (on by default).
 	logEvents bool
 	net       *Network
+	// snaps is the stack of open snapshots; mutation points journal
+	// prior values into it (see snapshot.go). Empty in the common case.
+	snaps []*Snapshot
 }
 
 // New creates an environment with the given host identity and a small
@@ -227,6 +230,9 @@ func (e *Env) dispatch(req Request) Result {
 				return Result{Err: ErrAlreadyExists}
 			}
 		}
+		if len(e.snaps) > 0 {
+			e.noteResource(req.Kind, key)
+		}
 		ns[key] = &Resource{
 			Kind:      req.Kind,
 			Name:      req.Name,
@@ -258,12 +264,18 @@ func (e *Env) dispatch(req Request) Result {
 		if existing == nil {
 			return Result{Err: notFoundError(req.Kind)}
 		}
+		if len(e.snaps) > 0 {
+			e.noteResource(req.Kind, key)
+		}
 		existing.Data = append(existing.Data[:0], req.Data...)
 		return Result{OK: true}
 
 	case OpDelete:
 		if existing == nil {
 			return Result{Err: notFoundError(req.Kind)}
+		}
+		if len(e.snaps) > 0 {
+			e.noteResource(req.Kind, key)
 		}
 		delete(ns, key)
 		return Result{OK: true}
@@ -275,6 +287,9 @@ func (e *Env) dispatch(req Request) Result {
 func (e *Env) open(req Request, canonical string) Handle {
 	h := e.next
 	e.next += 4
+	if len(e.snaps) > 0 {
+		e.noteHandle(h)
+	}
 	e.handles[h] = &openHandle{
 		kind:      req.Kind,
 		canonical: canonical,
@@ -304,6 +319,9 @@ func (e *Env) CloseHandle(h Handle) bool {
 	if _, ok := e.handles[h]; !ok {
 		e.lastErr = ErrInvalidHandle
 		return false
+	}
+	if len(e.snaps) > 0 {
+		e.noteHandle(h)
 	}
 	delete(e.handles, h)
 	return true
@@ -339,7 +357,11 @@ func (e *Env) Inject(r Resource) {
 		r.Owner = "vaccine"
 	}
 	r.CreatedAt = e.tick
-	e.resources[r.Kind][canonicalName(r.Name)] = r.clone()
+	key := canonicalName(r.Name)
+	if len(e.snaps) > 0 {
+		e.noteResource(r.Kind, key)
+	}
+	e.resources[r.Kind][key] = r.clone()
 }
 
 // Remove deletes a resource directly, bypassing hooks and the event log.
@@ -348,6 +370,9 @@ func (e *Env) Remove(kind ResourceKind, name string) bool {
 	key := canonicalName(name)
 	if _, ok := e.resources[kind][key]; !ok {
 		return false
+	}
+	if len(e.snaps) > 0 {
+		e.noteResource(kind, key)
 	}
 	delete(e.resources[kind], key)
 	return true

@@ -91,6 +91,9 @@ func (n *Network) Connect(principal, target string) (Handle, bool) {
 	}
 	s := n.nextSocket
 	n.nextSocket += 4
+	if len(n.env.snaps) > 0 {
+		n.env.noteSocket(s)
+	}
 	n.sockets[s] = target
 	n.record(principal, "connect", target, 0, true)
 	return s, true
@@ -125,6 +128,9 @@ func (n *Network) BindConnect(principal string, s Handle, target string) bool {
 		n.record(principal, "connect", target, 0, false)
 		return false
 	}
+	if len(n.env.snaps) > 0 {
+		n.env.noteSocket(s)
+	}
 	n.sockets[s] = target
 	n.record(principal, "connect", target, 0, true)
 	return true
@@ -148,13 +154,21 @@ func (n *Network) HTTPGet(principal, url string) (Handle, bool) {
 	}
 	s := n.nextSocket
 	n.nextSocket += 4
+	if len(n.env.snaps) > 0 {
+		n.env.noteSocket(s)
+	}
 	n.sockets[s] = url
 	n.record(principal, "http", url, 0, true)
 	return s, true
 }
 
 // CloseSocket releases a socket handle.
-func (n *Network) CloseSocket(s Handle) { delete(n.sockets, s) }
+func (n *Network) CloseSocket(s Handle) {
+	if len(n.env.snaps) > 0 {
+		n.env.noteSocket(s)
+	}
+	delete(n.sockets, s)
+}
 
 // hashString is a small FNV-1a used to synthesize stable addresses.
 func hashString(s string) uint32 {

@@ -1,0 +1,208 @@
+package winenv
+
+// Snapshot captures an environment state for cheap repeated rewind.
+// Unlike Clone — which deep-copies every namespace up front — a
+// snapshot records nothing at capture time and journals undo entries
+// only for state the run actually touches (first-touch copy-on-write),
+// so resetting after a typical emulated execution undoes a handful of
+// resources instead of rebuilding ~50 maps. This is the arena primitive
+// behind Phase-II's per-candidate re-executions (§IV-B) and per-host
+// slice replays (§IV-C).
+//
+// Snapshots nest: Reset rewinds to the most recent (innermost) open
+// snapshot only, and Close releases it. Journaling covers the resource
+// namespaces, the handle table, sockets, flows, events, hooks added
+// after capture, and the scalar registers (identity, last-error, tick,
+// next handle). It does NOT cover test-configuration state mutated in
+// place — network DNS/blackhole tables, hook truncation after
+// ClearHooks — which experiment code changes only between runs.
+type Snapshot struct {
+	env *Env
+
+	identity  HostIdentity
+	next      Handle
+	lastErr   ErrorCode
+	tick      uint64
+	events    int
+	hooks     int
+	logEvents bool
+
+	hadNet        bool
+	netNextSocket Handle
+	netFlows      int
+
+	// resources maps first-touched namespace keys to their prior value
+	// (nil = absent at capture). handles and sockets journal likewise.
+	resources map[resKey]*Resource
+	handles   map[Handle]*openHandle
+	sockets   map[Handle]sockPrior
+}
+
+// resKey addresses one resource in its canonical spelling.
+type resKey struct {
+	kind ResourceKind
+	key  string
+}
+
+// sockPrior is a socket's prior binding.
+type sockPrior struct {
+	target  string
+	present bool
+}
+
+// Snapshot opens a snapshot of the current state. Pair with Reset (as
+// many times as needed) and a final Close.
+func (e *Env) Snapshot() *Snapshot {
+	s := &Snapshot{
+		env:       e,
+		identity:  e.identity,
+		next:      e.next,
+		lastErr:   e.lastErr,
+		tick:      e.tick,
+		events:    len(e.events),
+		hooks:     len(e.hooks),
+		logEvents: e.logEvents,
+		resources: make(map[resKey]*Resource),
+		handles:   make(map[Handle]*openHandle),
+	}
+	if e.net != nil {
+		s.hadNet = true
+		s.netNextSocket = e.net.nextSocket
+		s.netFlows = len(e.net.flows)
+		s.sockets = make(map[Handle]sockPrior)
+	}
+	e.snaps = append(e.snaps, s)
+	return s
+}
+
+// Reset rewinds the environment to the snapshot, which must be the
+// innermost open one. The snapshot stays open: the next run's touches
+// journal afresh. Event and flow slices handed out before the reset
+// stay intact (truncation caps capacity, so later appends reallocate).
+func (e *Env) Reset(s *Snapshot) {
+	if s == nil || s.env != e || len(e.snaps) == 0 || e.snaps[len(e.snaps)-1] != s {
+		panic("winenv: Reset of a snapshot that is not the environment's innermost")
+	}
+	for k, prior := range s.resources {
+		if prior == nil {
+			delete(e.resources[k.kind], k.key)
+		} else {
+			// Reinstall a copy so the journal entry stays pristine even
+			// if the restored resource is later mutated in place.
+			e.resources[k.kind][k.key] = prior.clone()
+		}
+	}
+	clear(s.resources)
+	for h, prior := range s.handles {
+		if prior == nil {
+			delete(e.handles, h)
+		} else {
+			cp := *prior
+			e.handles[h] = &cp
+		}
+	}
+	clear(s.handles)
+	e.identity = s.identity
+	e.next = s.next
+	e.lastErr = s.lastErr
+	e.tick = s.tick
+	if len(e.events) > s.events {
+		e.events = e.events[:s.events:s.events]
+	}
+	if len(e.hooks) > s.hooks {
+		e.hooks = e.hooks[:s.hooks]
+	}
+	e.logEvents = s.logEvents
+	if !s.hadNet {
+		// The network sprang into existence during the run; forget it.
+		e.net = nil
+		return
+	}
+	if n := e.net; n != nil {
+		for h, prior := range s.sockets {
+			if prior.present {
+				n.sockets[h] = prior.target
+			} else {
+				delete(n.sockets, h)
+			}
+		}
+		clear(s.sockets)
+		n.nextSocket = s.netNextSocket
+		if len(n.flows) > s.netFlows {
+			n.flows = n.flows[:s.netFlows:s.netFlows]
+		}
+	}
+}
+
+// Close releases the snapshot without rewinding: the environment keeps
+// its current state. Closing out of order (not innermost-first) panics;
+// closing twice is a no-op.
+func (s *Snapshot) Close() {
+	e := s.env
+	if e == nil {
+		return
+	}
+	s.env = nil
+	if len(e.snaps) == 0 || e.snaps[len(e.snaps)-1] != s {
+		for _, open := range e.snaps {
+			if open == s {
+				panic("winenv: Snapshot.Close out of order (inner snapshots still open)")
+			}
+		}
+		return // already closed
+	}
+	e.snaps = e.snaps[:len(e.snaps)-1]
+}
+
+// noteResource journals a resource's prior value into every open
+// snapshot that has not seen this key yet. Called before any mutation
+// of e.resources[kind][key]. If the innermost snapshot holds a note for
+// the key, every outer one does too (notes are added outside-in), so
+// the walk stops at the first hit.
+func (e *Env) noteResource(kind ResourceKind, key string) {
+	for i := len(e.snaps) - 1; i >= 0; i-- {
+		s := e.snaps[i]
+		k := resKey{kind, key}
+		if _, seen := s.resources[k]; seen {
+			break
+		}
+		var prior *Resource
+		if r := e.resources[kind][key]; r != nil {
+			prior = r.clone()
+		}
+		s.resources[k] = prior
+	}
+}
+
+// noteHandle journals a handle's prior entry; same discipline as
+// noteResource.
+func (e *Env) noteHandle(h Handle) {
+	for i := len(e.snaps) - 1; i >= 0; i-- {
+		s := e.snaps[i]
+		if _, seen := s.handles[h]; seen {
+			break
+		}
+		var prior *openHandle
+		if oh := e.handles[h]; oh != nil {
+			cp := *oh
+			prior = &cp
+		}
+		s.handles[h] = prior
+	}
+}
+
+// noteSocket journals a socket's prior binding; snapshots taken before
+// the network existed skip it (Reset discards the whole network then).
+func (e *Env) noteSocket(h Handle) {
+	for i := len(e.snaps) - 1; i >= 0; i-- {
+		s := e.snaps[i]
+		if !s.hadNet {
+			continue
+		}
+		if _, seen := s.sockets[h]; seen {
+			break
+		}
+		target, present := e.net.sockets[h]
+		s.sockets[h] = sockPrior{target: target, present: present}
+	}
+}

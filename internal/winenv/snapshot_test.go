@@ -1,0 +1,250 @@
+package winenv
+
+import (
+	"testing"
+)
+
+func snapEnv() *Env {
+	return New(DefaultIdentity())
+}
+
+func doReq(t *testing.T, e *Env, op Op, kind ResourceKind, name string, data ...byte) Result {
+	t.Helper()
+	return e.Do(Request{Op: op, Kind: kind, Name: name, Principal: "test", Data: data})
+}
+
+func TestSnapshotUndoesCreateWriteDelete(t *testing.T) {
+	e := snapEnv()
+	e.Inject(Resource{Kind: KindFile, Name: `C:\pre\existing.txt`, Data: []byte("old")})
+	preCount := e.ResourceCount(KindFile)
+
+	snap := e.Snapshot()
+	defer snap.Close()
+
+	// Create a new resource, overwrite the pre-existing one, delete it.
+	if res := doReq(t, e, OpCreate, KindFile, `C:\run\dropped.txt`); !res.OK {
+		t.Fatalf("create failed: %v", res.Err)
+	}
+	if res := doReq(t, e, OpWrite, KindFile, `C:\pre\existing.txt`, []byte("clobbered")...); !res.OK {
+		t.Fatalf("write failed: %v", res.Err)
+	}
+	if res := doReq(t, e, OpDelete, KindFile, `C:\pre\existing.txt`); !res.OK {
+		t.Fatalf("delete failed: %v", res.Err)
+	}
+
+	e.Reset(snap)
+
+	if e.Exists(KindFile, `C:\run\dropped.txt`) {
+		t.Error("created resource survived reset")
+	}
+	r := e.Lookup(KindFile, `C:\pre\existing.txt`)
+	if r == nil {
+		t.Fatal("deleted resource not restored")
+	}
+	if string(r.Data) != "old" {
+		t.Errorf("restored data = %q, want %q", r.Data, "old")
+	}
+	if got := e.ResourceCount(KindFile); got != preCount {
+		t.Errorf("file count = %d, want %d", got, preCount)
+	}
+}
+
+func TestSnapshotUndoesHandlesAndScalars(t *testing.T) {
+	e := snapEnv()
+	tick0, next0 := e.Tick(), e.OpenHandleCount()
+	e.SetLastError(ErrSuccess)
+
+	snap := e.Snapshot()
+	defer snap.Close()
+
+	res := doReq(t, e, OpCreate, KindMutex, "!Marker")
+	if !res.OK || res.Handle == 0 {
+		t.Fatalf("create: %+v", res)
+	}
+	// A failing open sets last-error.
+	doReq(t, e, OpOpen, KindMutex, "!Absent")
+	if e.LastError() == ErrSuccess {
+		t.Fatal("last-error not set by failed open")
+	}
+
+	e.Reset(snap)
+
+	if e.OpenHandleCount() != next0 {
+		t.Errorf("open handles = %d, want %d", e.OpenHandleCount(), next0)
+	}
+	if _, _, ok := e.HandleName(res.Handle); ok {
+		t.Error("run handle still resolves after reset")
+	}
+	if e.Tick() != tick0 {
+		t.Errorf("tick = %d, want %d", e.Tick(), tick0)
+	}
+	if e.LastError() != ErrSuccess {
+		t.Errorf("last-error = %v, want success", e.LastError())
+	}
+	// Handle numbering restarts identically: the next run allocates the
+	// same handle values (replay determinism).
+	res2 := doReq(t, e, OpCreate, KindMutex, "!Marker")
+	if res2.Handle != res.Handle {
+		t.Errorf("handle after reset = %#x, want %#x", res2.Handle, res.Handle)
+	}
+}
+
+func TestSnapshotUndoesInjectAndRemove(t *testing.T) {
+	e := snapEnv()
+	e.Inject(Resource{Kind: KindMutex, Name: "!Keep"})
+
+	snap := e.Snapshot()
+	defer snap.Close()
+
+	e.Inject(Resource{Kind: KindMutex, Name: "!Vaccine"})
+	e.Remove(KindMutex, "!Keep")
+	e.Reset(snap)
+
+	if e.Exists(KindMutex, "!Vaccine") {
+		t.Error("injected resource survived reset")
+	}
+	if !e.Exists(KindMutex, "!Keep") {
+		t.Error("removed resource not restored")
+	}
+}
+
+func TestSnapshotEventsTruncatedCapped(t *testing.T) {
+	e := snapEnv()
+	e.SetEventLogging(true)
+	doReq(t, e, OpCreate, KindMutex, "!Before")
+	base := len(e.Events())
+
+	snap := e.Snapshot()
+	defer snap.Close()
+
+	doReq(t, e, OpCreate, KindMutex, "!During")
+	held := e.Events() // a reader kept the slice across the reset
+	heldLen := len(held)
+
+	e.Reset(snap)
+	if len(e.Events()) != base {
+		t.Errorf("events = %d, want %d", len(e.Events()), base)
+	}
+	// New appends after the reset must not clobber the held slice.
+	doReq(t, e, OpCreate, KindMutex, "!After")
+	if len(held) != heldLen || held[heldLen-1].Request.Name != "!During" {
+		t.Error("reset+append clobbered a previously returned event slice")
+	}
+}
+
+func TestSnapshotUndoesNetwork(t *testing.T) {
+	e := snapEnv()
+	n := e.Net() // network exists before the snapshot
+	flows0 := len(n.Flows())
+
+	snap := e.Snapshot()
+	defer snap.Close()
+
+	s, ok := n.Connect("mal", "10.0.0.1:80")
+	if !ok {
+		t.Fatal("connect failed")
+	}
+	n.Send("mal", s, 128)
+	e.Reset(snap)
+
+	if len(n.Flows()) != flows0 {
+		t.Errorf("flows = %d, want %d", len(n.Flows()), flows0)
+	}
+	if n.Send("mal", s, 1) {
+		t.Error("run socket still bound after reset")
+	}
+	// Socket numbering restarts identically.
+	s2, _ := n.Connect("mal", "10.0.0.1:80")
+	if s2 != s {
+		t.Errorf("socket after reset = %#x, want %#x", s2, s)
+	}
+}
+
+func TestSnapshotForgetsNetworkBornDuringRun(t *testing.T) {
+	e := snapEnv()
+	snap := e.Snapshot()
+	defer snap.Close()
+	e.Net().Connect("mal", "10.0.0.1:80") // first Net() call creates it
+	e.Reset(snap)
+	if e.net != nil {
+		t.Error("network born during the run survived reset")
+	}
+}
+
+func TestSnapshotHooksAddedDuringRunRemoved(t *testing.T) {
+	e := snapEnv()
+	e.AddHook(func(Request) *Result { return nil })
+	snap := e.Snapshot()
+	defer snap.Close()
+	e.AddHook(func(Request) *Result { return nil })
+	e.Reset(snap)
+	if e.HookCount() != 1 {
+		t.Errorf("hooks = %d, want 1", e.HookCount())
+	}
+}
+
+func TestSnapshotNested(t *testing.T) {
+	e := snapEnv()
+	outer := e.Snapshot()
+	e.Inject(Resource{Kind: KindMutex, Name: "!OuterRun"})
+
+	inner := e.Snapshot()
+	e.Inject(Resource{Kind: KindMutex, Name: "!InnerRun"})
+	e.Reset(inner)
+	if e.Exists(KindMutex, "!InnerRun") {
+		t.Error("inner run state survived inner reset")
+	}
+	if !e.Exists(KindMutex, "!OuterRun") {
+		t.Error("inner reset rewound past its own snapshot")
+	}
+	inner.Close()
+
+	// The outer snapshot journalled !OuterRun too, even though the inner
+	// snapshot was opened (and its journal discarded) in between.
+	e.Reset(outer)
+	if e.Exists(KindMutex, "!OuterRun") {
+		t.Error("outer reset missed state journalled before the inner snapshot")
+	}
+	outer.Close()
+}
+
+func TestSnapshotResetRepeatable(t *testing.T) {
+	e := snapEnv()
+	snap := e.Snapshot()
+	defer snap.Close()
+	for i := 0; i < 3; i++ {
+		res := doReq(t, e, OpCreate, KindMutex, "!Again")
+		if !res.OK || res.Err == ErrAlreadyExists {
+			t.Fatalf("iteration %d saw leaked state: %+v", i, res)
+		}
+		e.Reset(snap)
+		if e.Exists(KindMutex, "!Again") {
+			t.Fatalf("iteration %d: state survived reset", i)
+		}
+	}
+}
+
+func TestSnapshotMisusePanics(t *testing.T) {
+	e := snapEnv()
+	outer := e.Snapshot()
+	inner := e.Snapshot()
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Reset of non-innermost", func() { e.Reset(outer) })
+	mustPanic("Close out of order", func() { outer.Close() })
+	mustPanic("Reset on foreign env", func() { snapEnv().Reset(inner) })
+
+	inner.Close()
+	inner.Close() // double-close is a no-op
+	outer.Close()
+
+	mustPanic("Reset of closed snapshot", func() { e.Reset(outer) })
+}
