@@ -42,6 +42,7 @@ func run(args []string) error {
 		evade  = fs.Bool("evasion", false, "run the §VII evasion/limitation experiments")
 		ablate = fs.Bool("ablation", false, "run the design-choice ablation study")
 		prefil = fs.Bool("prefilter", false, "run the static pre-filter study (prefilter on vs off)")
+		epidem = fs.Bool("epidemic", false, "run the killswitch-worm vs vaccine-sync epidemic race")
 		all    = fs.Bool("all", false, "regenerate everything")
 		bdrCap = fs.Int("bdrcap", 10, "max vaccines measured per effect class for Figure 4")
 		bench  = fs.Bool("bench", false, "run the emulator bench trajectory and write -benchout")
@@ -55,8 +56,18 @@ func run(args []string) error {
 		// setup the report paths need.
 		return runBench(*bout)
 	}
-	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil {
+	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil && !*epidem {
 		*all = true
+	}
+	if *epidem && !*all {
+		// The epidemic race builds its own worm and fleet; skip the
+		// corpus setup the report paths need.
+		rep, err := experiment.RunEpidemic(experiment.EpidemicConfig{Seed: uint64(*seed)})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderEpidemic(rep))
+		return nil
 	}
 
 	// partial collects isolated experiment failures: every completed
@@ -182,6 +193,14 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Println(experiment.RenderEvasion(ren, fo, fe, ri, cd))
+	}
+	if *all || *epidem {
+		rep, err := experiment.RunEpidemic(experiment.EpidemicConfig{Seed: uint64(*seed)})
+		if err != nil {
+			partial = append(partial, err)
+		} else {
+			fmt.Println(experiment.RenderEpidemic(rep))
+		}
 	}
 	if *all || *prefil {
 		st, err := setup.Prefilter(context.Background())

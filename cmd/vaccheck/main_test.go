@@ -149,6 +149,64 @@ func TestVaccheckReportsAllFailures(t *testing.T) {
 	}
 }
 
+// domainTestVaccine is a well-formed static sinkhole vaccine.
+func domainTestVaccine(id, identifier string) vaccine.Vaccine {
+	return vaccine.Vaccine{
+		ID: id, Sample: "netks-0001",
+		Resource: winenv.KindDomain, Identifier: identifier,
+		Class: determinism.Static, Op: "open", API: "gethostbyname",
+		Effect: impact.Full, Polarity: vaccine.SimulatePresence,
+		Delivery: vaccine.DirectInjection,
+	}
+}
+
+func TestVaccheckDomainSinkholeRules(t *testing.T) {
+	cases := []struct {
+		name string
+		v    vaccine.Vaccine
+		ok   bool
+	}{
+		{"killswitch domain", domainTestVaccine("d/0", "iuqerfsod.example"), true},
+		{"host:port target", domainTestVaccine("d/1", "cc.botnet.example:8080"), true},
+		{"benign domain", domainTestVaccine("d/2", "update.microsoft.com"), false},
+		{"benign sub-domain", domainTestVaccine("d/3", "dl.download.windowsupdate.com"), false},
+		{"unqualified name", domainTestVaccine("d/4", "localhost"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "pack.json")
+			writePackFile(t, path, &vaccine.Pack{Generator: "test",
+				Vaccines: []vaccine.Vaccine{tc.v}})
+			var out bytes.Buffer
+			err := run([]string{path}, &out)
+			if tc.ok && err != nil {
+				t.Fatalf("good domain vaccine rejected: %v\n%s", err, out.String())
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("bad domain vaccine accepted:\n%s", out.String())
+				}
+				if !strings.Contains(out.String(), "sinkhole rule") {
+					t.Errorf("failure not attributed to the sinkhole rule: %q", out.String())
+				}
+			}
+		})
+	}
+}
+
+func TestVaccheckDomainPatternRule(t *testing.T) {
+	v := domainTestVaccine("d/5", "")
+	v.Class = determinism.PartialStatic
+	v.Pattern = "*.windowsupdate.microsoft.com"
+	v.Delivery = vaccine.VaccineDaemon
+	path := filepath.Join(t.TempDir(), "pack.json")
+	writePackFile(t, path, &vaccine.Pack{Generator: "test", Vaccines: []vaccine.Vaccine{v}})
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err == nil {
+		t.Fatalf("benign-zone pattern accepted:\n%s", out.String())
+	}
+}
+
 func TestVaccheckQuietSuppressesFailLines(t *testing.T) {
 	v := realSliceVaccine(t)
 	v.Slice.ResultAddr = 0xDEAD0000

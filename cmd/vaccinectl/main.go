@@ -8,6 +8,13 @@
 //	autovac -family zeus -out zeus.json
 //	vaccinectl -pack zeus.json -family zeus
 //	vaccinectl -pack zeus.json -family zeus -host FINANCE-PC-22
+//	vaccinectl -pack worm.json -worm <killswitch-domain>
+//
+// Domain vaccines (winenv.KindDomain) deploy into the host's DNS
+// world: simulate-presence registers the name (killswitch sinkhole),
+// block-access blackholes it. The -worm mode verifies such a pack
+// against the killswitch worm, running both the clean and vaccinated
+// host inside the worm's pseudo-C2 scenario.
 package main
 
 import (
@@ -16,12 +23,14 @@ import (
 	"os"
 	"strings"
 
+	"autovac/internal/c2"
 	"autovac/internal/deploy"
 	"autovac/internal/emu"
 	"autovac/internal/impact"
 	"autovac/internal/malware"
 	"autovac/internal/trace"
 	"autovac/internal/vaccine"
+	"autovac/internal/winapi"
 	"autovac/internal/winenv"
 )
 
@@ -37,6 +46,7 @@ func run(args []string) error {
 	var (
 		packPath = fs.String("pack", "", "vaccine pack (JSON) to deploy")
 		family   = fs.String("family", "", "verify against this family's sample")
+		worm     = fs.String("worm", "", "verify against the killswitch worm with this domain")
 		host     = fs.String("host", "", "computer name of the target host (default analysis machine)")
 		list     = fs.Bool("list", false, "print the pack contents without deploying")
 		seed     = fs.Int64("seed", 42, "deterministic seed (must match generation)")
@@ -84,29 +94,59 @@ func run(args []string) error {
 		if v.Pattern != "" {
 			target = v.Pattern
 		}
-		fmt.Printf("deployed %-40s [%s %s, %s]\n", target, v.Resource, v.Class, v.Delivery)
+		detail := v.Delivery.String()
+		if v.Resource == winenv.KindDomain {
+			// Domain vaccines land in the DNS world, not a namespace.
+			if v.Polarity == vaccine.SimulatePresence {
+				detail += ", sinkhole-register"
+			} else {
+				detail += ", dns-blackhole"
+			}
+		}
+		fmt.Printf("deployed %-40s [%s %s, %s]\n", target, v.Resource, v.Class, detail)
 	}
 	fmt.Printf("%d vaccines active on %s\n", d.VaccineCount(), id.ComputerName)
 
-	if *family == "" {
+	if *family == "" && *worm == "" {
 		return nil
 	}
-	fam, err := parseFamily(*family)
-	if err != nil {
-		return err
+	if *family != "" && *worm != "" {
+		return fmt.Errorf("-family and -worm are mutually exclusive")
 	}
-	sample, err := malware.NewGenerator(*seed).FamilySample(fam)
-	if err != nil {
-		return err
+
+	var sample *malware.Sample
+	var sc *c2.Scenario
+	if *worm != "" {
+		sample, err = malware.NewGenerator(*seed).WormSample(*worm)
+		if err != nil {
+			return err
+		}
+		sc = malware.WormScenario(*worm)
+	} else {
+		fam, err := parseFamily(*family)
+		if err != nil {
+			return err
+		}
+		sample, err = malware.NewGenerator(*seed).FamilySample(fam)
+		if err != nil {
+			return err
+		}
 	}
 
 	// Natural behaviour on a clean host vs behaviour on the vaccinated
-	// host.
-	normal, err := emu.Run(sample.Program, winenv.New(id), emu.Options{Seed: uint64(*seed)})
+	// host; under a scenario both hosts face the same pseudo-C2.
+	opts := emu.Options{Seed: uint64(*seed)}
+	clean := winenv.New(id)
+	if sc != nil {
+		opts.Registry = winapi.StandardC2()
+		clean.Net().SetResponder(sc.NewResponder())
+		env.Net().SetResponder(sc.NewResponder())
+	}
+	normal, err := emu.Run(sample.Program, clean, opts)
 	if err != nil {
 		return err
 	}
-	protected, err := emu.Run(sample.Program, env, emu.Options{Seed: uint64(*seed)})
+	protected, err := emu.Run(sample.Program, env, opts)
 	if err != nil {
 		return err
 	}

@@ -57,6 +57,47 @@ func TestDeployWithoutVerification(t *testing.T) {
 	}
 }
 
+// writeWormPack analyses the killswitch worm under its pseudo-C2
+// scenario and writes the resulting domain-vaccine pack.
+func writeWormPack(t *testing.T, killswitch string) string {
+	t.Helper()
+	sample, err := malware.NewGenerator(42).WormSample(killswitch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Seed: 42, C2: malware.WormScenario(killswitch)}
+	res, err := core.New(cfg).Analyze(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack := &vaccine.Pack{Generator: "test", Vaccines: res.Vaccines}
+	path := filepath.Join(t.TempDir(), "worm.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pack.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDeployAndVerifyWorm(t *testing.T) {
+	const ks = "iuqerfsod.example"
+	pack := writeWormPack(t, ks)
+	if err := run([]string{"-pack", pack, "-worm", ks, "-seed", "42"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWormAndFamilyExclusive(t *testing.T) {
+	pack := writePack(t, malware.Zeus)
+	if err := run([]string{"-pack", pack, "-family", "zeus", "-worm", "x.example"}); err == nil {
+		t.Error("-family and -worm together accepted")
+	}
+}
+
 func TestErrors(t *testing.T) {
 	if err := run([]string{}); err == nil {
 		t.Error("missing -pack accepted")

@@ -1,16 +1,18 @@
-// Conficker-style worm propagation with and without vaccination.
+// Killswitch-worm immunization, end to end.
 //
-// This example motivates the paper's use case (§II-A): "If we can
-// capture the binary at the initial infection stage, we can quickly
-// generate vaccines and protect our uninfected machines from the
-// attacks." It simulates a small enterprise network, lets the worm
-// propagate, then repeats the epidemic after pre-injecting the
-// algorithm-deterministic mutex vaccine (extracted by the pipeline from
-// patient zero's infection) into part of the fleet.
+// This example closes the paper's loop (§II-A): "If we can capture the
+// binary at the initial infection stage, we can quickly generate
+// vaccines and protect our uninfected machines from the attacks." A
+// WannaCry-style worm probes a killswitch domain before detonating;
+// patient zero's binary is analysed under a scripted pseudo-C2
+// scenario, the pipeline extracts the killswitch as a domain vaccine
+// (force-success wins: registering the domain stands the worm down),
+// and the vaccinated fleet races the epidemic.
 //
-// The vaccine is per-host: the marker name derives from each machine's
-// computer name, so the daemon replays the extracted program slice on
-// every host — exactly the Conficker case study of §VI-D.
+// The race is the interesting part. The vaccine pack is published to a
+// fleet registry at wave 1, and each fleet syncs it after a different
+// latency — the infection curve flattens exactly when the sinkhole
+// registration lands, while the unprotected control saturates.
 //
 // Run with:
 //
@@ -22,26 +24,19 @@ import (
 	"log"
 
 	"autovac/internal/core"
-	"autovac/internal/emu"
-	"autovac/internal/exclusive"
+	"autovac/internal/fleet"
 	"autovac/internal/malware"
-	"autovac/internal/trace"
 	"autovac/internal/vaccine"
 	"autovac/internal/winenv"
 )
 
 const (
-	seed     = 7
-	fleet    = 24 // machines on the network
-	coverage = 12 // machines that receive the vaccine
-	rounds   = 6  // propagation rounds
+	seed        = 42
+	hosts       = 48 // machines on the network
+	waves       = 10 // propagation rounds
+	publishWave = 1  // when the pack reaches the registry
+	killswitch  = "iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.example"
 )
-
-// host is one machine on the simulated network.
-type host struct {
-	env      *winenv.Env
-	infected bool
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -50,116 +45,82 @@ func main() {
 }
 
 func run() error {
-	worm, err := malware.NewGenerator(seed).FamilySample(malware.Conficker)
+	// The worm: resolves the killswitch, stands down if it exists,
+	// otherwise drops its copy and scans port 445.
+	gen := malware.NewGenerator(seed)
+	worm, err := gen.WormSample(killswitch)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("worm: %s (md5 %s)\n\n", worm.Name(), worm.MD5)
+	sc := malware.WormScenario(killswitch)
+	fmt.Printf("worm: %s (md5 %s), killswitch %s\n\n", worm.Name(), worm.MD5, killswitch)
 
-	// Patient zero is captured and analysed; the pipeline extracts the
-	// vaccines, including the algorithm-deterministic mutex.
-	benign, err := malware.BenignCorpus()
-	if err != nil {
-		return err
-	}
-	index, err := exclusive.BuildIndex(benign, seed)
-	if err != nil {
-		return err
-	}
-	pipeline := core.New(core.Config{Seed: seed, Index: index})
+	// Patient zero is captured and analysed under the pseudo-C2
+	// scenario. The killswitch lookup fails naturally (nobody registered
+	// the domain), so the force-success mutation deviates the execution
+	// — the worm exits before any payload — and Phase II emits a
+	// simulate-presence domain vaccine.
+	pipeline := core.New(core.Config{Seed: seed, C2: sc})
 	res, err := pipeline.Analyze(worm)
 	if err != nil {
 		return err
 	}
-	var mutexVaccine *vaccine.Vaccine
-	for i := range res.Vaccines {
-		if res.Vaccines[i].Resource == winenv.KindMutex {
-			mutexVaccine = &res.Vaccines[i]
-			break
+	var vs []vaccine.Vaccine
+	for _, v := range res.Vaccines {
+		if v.Resource == winenv.KindDomain {
+			vs = append(vs, v)
 		}
 	}
-	if mutexVaccine == nil {
-		return fmt.Errorf("no mutex vaccine extracted (got %d vaccines)", len(res.Vaccines))
+	if len(vs) == 0 {
+		return fmt.Errorf("no domain vaccine extracted (got %d vaccines)", len(res.Vaccines))
 	}
-	fmt.Printf("extracted vaccine: %s\n", mutexVaccine.String())
-	fmt.Printf("  (identifier class %s: the daemon replays a %d-step slice per host)\n\n",
-		mutexVaccine.Class, mutexVaccine.Slice.SourceSteps)
-
-	// Epidemic 1: unprotected fleet.
-	unprotected := epidemic(worm, nil, pipeline)
-	// Epidemic 2: half the fleet vaccinated before the outbreak.
-	protected := epidemic(worm, mutexVaccine, pipeline)
-
-	fmt.Println("round   infected (unprotected)   infected (50% vaccinated)")
-	for r := 0; r < len(unprotected); r++ {
-		fmt.Printf("%5d   %22d   %25d\n", r, unprotected[r], protected[r])
+	pack := &vaccine.Pack{Generator: "conficker_worm example", Vaccines: vs}
+	if err := pack.Verify(); err != nil {
+		return fmt.Errorf("vaccine pack failed verification: %w", err)
 	}
-	fmt.Printf("\nfinal: %d/%d infected without vaccines, %d/%d with %d vaccinated hosts\n",
-		unprotected[len(unprotected)-1], fleet,
-		protected[len(protected)-1], fleet, coverage)
+	for _, v := range vs {
+		fmt.Printf("extracted vaccine: %s\n", v.String())
+	}
+	fmt.Printf("  (deploys as a DNS sinkhole registration: resolving the\n")
+	fmt.Printf("   killswitch convinces the worm the net is watching)\n\n")
+
+	// The epidemic race: the pack is published at wave 1; each fleet's
+	// delta sync lands after a different latency. Latency -1 is the
+	// unprotected control.
+	fmt.Printf("%d hosts, %d waves, pack published at wave %d\n\n", hosts, waves, publishWave)
+	fmt.Printf("%-10s", "sync lat.")
+	for w := 0; w <= waves; w++ {
+		fmt.Printf(" %4s", fmt.Sprintf("w%d", w))
+	}
+	fmt.Printf(" %9s\n", "repelled")
+	for _, lat := range []int{0, 2, 4, -1} {
+		cfg := fleet.WormConfig{
+			Hosts:       hosts,
+			Waves:       waves,
+			Worm:        worm,
+			Scenario:    sc,
+			Seed:        seed,
+			PublishWave: publishWave,
+			SyncLatency: lat,
+		}
+		if lat >= 0 {
+			cfg.Vaccines = vs
+		}
+		r, err := fleet.SimulateWorm(cfg)
+		if err != nil {
+			return err
+		}
+		label := fmt.Sprintf("+%d waves", lat)
+		if lat < 0 {
+			label = "control"
+		}
+		fmt.Printf("%-10s", label)
+		for _, n := range r.Curve {
+			fmt.Printf(" %4d", n)
+		}
+		fmt.Printf(" %9d\n", r.Repelled)
+	}
+	fmt.Printf("\nthe curve flattens at publish+latency: every synced host answers the\n")
+	fmt.Printf("killswitch lookup, so the worm stands down instead of detonating\n")
 	return nil
-}
-
-// epidemic runs the propagation simulation and returns the infected
-// count after each round. If v is non-nil it is injected into the
-// `coverage` machines furthest from patient zero before the outbreak.
-func epidemic(worm *malware.Sample, v *vaccine.Vaccine, pipeline *core.Pipeline) []int {
-	hosts := make([]*host, fleet)
-	for i := range hosts {
-		id := winenv.DefaultIdentity()
-		id.ComputerName = fmt.Sprintf("CORP-PC-%02d", i)
-		id.IPAddress = fmt.Sprintf("10.0.0.%d", i+10)
-		hosts[i] = &host{env: winenv.New(id)}
-		// Patient zero's half of the subnet stays unprotected; the
-		// vaccine reaches the other half before the worm does.
-		if v != nil && i >= fleet-coverage {
-			d := pipeline.NewDaemonFor(hosts[i].env)
-			if err := d.Install(*v); err != nil {
-				log.Fatalf("deploy on %s: %v", id.ComputerName, err)
-			}
-		}
-	}
-	// Patient zero.
-	hosts[0].infected = infect(worm, hosts[0])
-	counts := []int{count(hosts)}
-
-	// Each round, every infected machine probes the next machines on
-	// the subnet (sequential scanning, Conficker-style).
-	for r := 0; r < rounds; r++ {
-		var targets []int
-		for i, h := range hosts {
-			if !h.infected {
-				continue
-			}
-			targets = append(targets, (i+1)%fleet, (i+2)%fleet, (i+5)%fleet)
-		}
-		for _, t := range targets {
-			if !hosts[t].infected {
-				hosts[t].infected = infect(worm, hosts[t])
-			}
-		}
-		counts = append(counts, count(hosts))
-	}
-	return counts
-}
-
-// infect runs the worm on a host; infection succeeded when the worm ran
-// its payload (did not exit at the marker probe).
-func infect(worm *malware.Sample, h *host) bool {
-	tr, err := emu.Run(worm.Program, h.env, emu.Options{Seed: seed})
-	if err != nil || tr.Exit == trace.ExitFault {
-		return false
-	}
-	// The worm considers the machine taken when it exited on its marker.
-	return tr.Exit != trace.ExitProcess
-}
-
-func count(hosts []*host) int {
-	n := 0
-	for _, h := range hosts {
-		if h.infected {
-			n++
-		}
-	}
-	return n
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strings"
 
+	"autovac/internal/c2"
 	"autovac/internal/clinic"
 	"autovac/internal/deploy"
 	"autovac/internal/determinism"
@@ -54,6 +55,12 @@ type Config struct {
 	Index *exclusive.Index
 	// Benign is the clinic-test suite; nil skips the clinic test.
 	Benign []*malware.Sample
+	// C2 attaches a pseudo-C2 scenario to every emulated execution and
+	// switches the API registry to winapi.StandardC2, so network
+	// identifiers (C2 hosts, DGA names, killswitch domains) become
+	// candidate vaccine material. Nil keeps the legacy passive network
+	// and unlabelled network APIs — byte-identical legacy traces.
+	C2 *c2.Scenario
 }
 
 // Pipeline runs AUTOVAC end to end. Its state is immutable after New,
@@ -77,7 +84,21 @@ func New(cfg Config) *Pipeline {
 	if cfg.Identity == (winenv.HostIdentity{}) {
 		cfg.Identity = winenv.DefaultIdentity()
 	}
-	return &Pipeline{cfg: cfg, registry: winapi.Standard()}
+	reg := winapi.Standard()
+	if cfg.C2 != nil {
+		reg = winapi.StandardC2()
+	}
+	return &Pipeline{cfg: cfg, registry: reg}
+}
+
+// newEnv builds one analysis environment, attaching a fresh responder
+// for the configured scenario (responders are stateful and single-env).
+func (p *Pipeline) newEnv() *winenv.Env {
+	env := winenv.New(p.cfg.Identity)
+	if p.cfg.C2 != nil {
+		env.Net().SetResponder(p.cfg.C2.NewResponder())
+	}
+	return env
 }
 
 // Candidate is one resource-API occurrence that can affect the
@@ -112,7 +133,7 @@ func (p *Profile) HasVaccineCandidates() bool { return len(p.Candidates) > 0 }
 // Phase1 profiles a sample: one natural execution under taint analysis,
 // with instruction steps recorded for the later backward slicing.
 func (p *Pipeline) Phase1(s *malware.Sample) (*Profile, error) {
-	env := winenv.New(p.cfg.Identity)
+	env := p.newEnv()
 	tr, err := emu.Run(s.Program, env, emu.Options{
 		Seed:        p.cfg.Seed,
 		MaxSteps:    p.cfg.Phase1Steps,
@@ -214,13 +235,13 @@ func (p *Pipeline) Phase2(prof *Profile) (*Result, error) {
 
 	arena := &phase2Arena{}
 	if len(prof.Candidates) > 0 {
-		runner, err := emu.NewRunner(prof.Sample.Program, winenv.New(p.cfg.Identity))
+		runner, err := emu.NewRunner(prof.Sample.Program, p.newEnv())
 		if err != nil {
 			return nil, fmt.Errorf("core: phase2 %s: %w", prof.Sample.Name(), err)
 		}
 		defer runner.Close()
 		arena.runner = runner
-		arena.replayEnv = winenv.New(p.cfg.Identity)
+		arena.replayEnv = p.newEnv()
 	}
 
 	for _, cand := range prof.Candidates {
@@ -462,13 +483,13 @@ func (p *Pipeline) Analyze(s *malware.Sample) (*Result, error) {
 // MeasureBDR deploys a vaccine and measures the Behavior Decreasing
 // Ratio of §VI-E with the extended execution budget.
 func (p *Pipeline) MeasureBDR(s *malware.Sample, v *vaccine.Vaccine) (float64, error) {
-	normal, err := emu.Run(s.Program, winenv.New(p.cfg.Identity), emu.Options{
+	normal, err := emu.Run(s.Program, p.newEnv(), emu.Options{
 		Seed: p.cfg.Seed, MaxSteps: p.cfg.BDRSteps, Registry: p.registry,
 	})
 	if err != nil {
 		return 0, fmt.Errorf("core: bdr normal run: %w", err)
 	}
-	env := winenv.New(p.cfg.Identity)
+	env := p.newEnv()
 	d := p.NewDaemonFor(env)
 	if err := d.Install(*v); err != nil {
 		return 0, fmt.Errorf("core: bdr deploy: %w", err)
@@ -496,3 +517,7 @@ func (p *Pipeline) Seed() uint64 { return p.cfg.Seed }
 
 // Identity returns the analysis machine identity.
 func (p *Pipeline) Identity() winenv.HostIdentity { return p.cfg.Identity }
+
+// Scenario returns the attached pseudo-C2 scenario (nil when running
+// against the legacy passive network).
+func (p *Pipeline) Scenario() *c2.Scenario { return p.cfg.C2 }

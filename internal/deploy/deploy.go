@@ -62,6 +62,10 @@ func Inject(env *winenv.Env, v *vaccine.Vaccine, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	if v.Resource == winenv.KindDomain {
+		injectDomain(env, v.Polarity, ident)
+		return nil
+	}
 	res := winenv.Resource{
 		Kind:  v.Resource,
 		Name:  ident,
@@ -75,6 +79,30 @@ func Inject(env *winenv.Env, v *vaccine.Vaccine, seed uint64) error {
 	}
 	env.Inject(res)
 	return nil
+}
+
+// injectDomain deploys a domain vaccine into the host's DNS world.
+// Domain resources have no namespace entry to plant; the two polarities
+// translate to the two network countermeasures: SimulatePresence
+// registers the domain (the killswitch-registration vaccine — the
+// domain now "exists" and the malware that checks it stands down),
+// BlockAccess sinkholes it (resolution and connection fail, cutting the
+// C2 channel).
+func injectDomain(env *winenv.Env, pol vaccine.Polarity, ident string) {
+	if pol == vaccine.SimulatePresence {
+		env.Net().Register(ident)
+	} else {
+		env.Net().Blackhole(ident)
+	}
+}
+
+// removeDomain undoes injectDomain.
+func removeDomain(env *winenv.Env, pol vaccine.Polarity, ident string) {
+	if pol == vaccine.SimulatePresence {
+		env.Net().Deregister(ident)
+	} else {
+		env.Net().Unblackhole(ident)
+	}
 }
 
 // InjectAll injects a set of vaccines, returning the first error.
@@ -98,6 +126,10 @@ func Remove(env *winenv.Env, v *vaccine.Vaccine, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	if v.Resource == winenv.KindDomain {
+		removeDomain(env, v.Polarity, ident)
+		return nil
+	}
 	env.Remove(v.Resource, ident)
 	return nil
 }
@@ -120,9 +152,10 @@ type Daemon struct {
 	replayed map[string]string // vaccine ID -> identifier
 	byID     map[string]vaccine.Vaccine
 	// intercepts counts hook decisions, for the overhead evaluation.
-	intercepts int
-	inspected  int
-	installed  bool
+	intercepts   int
+	inspected    int
+	installed    bool
+	netInstalled bool
 }
 
 // NewDaemon creates a daemon bound to a host environment.
@@ -150,7 +183,13 @@ func (d *Daemon) Install(v vaccine.Vaccine) error {
 	switch v.Class {
 	case determinism.PartialStatic:
 		d.patterned[v.Resource] = append(d.patterned[v.Resource], v)
-		d.ensureHook()
+		if v.Resource == winenv.KindDomain {
+			// Domain operations bypass env.Do, so patterned domain
+			// vaccines intercept on the DNS path instead.
+			d.ensureNetHook()
+		} else {
+			d.ensureHook()
+		}
 		return nil
 	case determinism.AlgorithmDeterministic:
 		ident, err := ResolveIdentifier(d.env, &v, d.seed)
@@ -172,6 +211,10 @@ func (d *Daemon) Install(v vaccine.Vaccine) error {
 
 // injectConcrete plants a concrete resource for a vaccine.
 func (d *Daemon) injectConcrete(v vaccine.Vaccine, ident string) {
+	if v.Resource == winenv.KindDomain {
+		injectDomain(d.env, v.Polarity, ident)
+		return
+	}
 	res := winenv.Resource{Kind: v.Resource, Name: ident, Owner: "vaccine"}
 	if v.Polarity == vaccine.BlockAccess {
 		res.ACL = winenv.DenyAll()
@@ -188,6 +231,36 @@ func (d *Daemon) ensureHook() {
 	}
 	d.installed = true
 	d.env.AddHook(d.intercept)
+}
+
+// ensureNetHook registers the daemon's DNS interception hook once.
+func (d *Daemon) ensureNetHook() {
+	if d.netInstalled {
+		return
+	}
+	d.netInstalled = true
+	d.env.Net().AddResolveHook(d.interceptResolve)
+}
+
+// interceptResolve is the daemon's DNS hook: patterned domain vaccines
+// sinkhole (BlockAccess → NXDOMAIN) or force-register (SimulatePresence
+// → the name exists) matching queries.
+func (d *Daemon) interceptResolve(host string) winenv.ResolveVerdict {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.inspected++
+	for i := range d.patterned[winenv.KindDomain] {
+		v := &d.patterned[winenv.KindDomain][i]
+		if !determinism.MatchPattern(v.Pattern, host) {
+			continue
+		}
+		d.intercepts++
+		if v.Polarity == vaccine.SimulatePresence {
+			return winenv.VerdictResolve
+		}
+		return winenv.VerdictRefuse
+	}
+	return winenv.VerdictNone
 }
 
 // intercept is the daemon's resource-operation hook: it resolves the
@@ -282,7 +355,11 @@ func (d *Daemon) Refresh() (int, error) {
 		if ident == old {
 			continue
 		}
-		d.env.Remove(v.Resource, old)
+		if v.Resource == winenv.KindDomain {
+			removeDomain(d.env, v.Polarity, old)
+		} else {
+			d.env.Remove(v.Resource, old)
+		}
 		d.injectConcrete(v, ident)
 		d.replayed[id] = ident
 		changed++

@@ -351,3 +351,97 @@ func TestInstallPackIdempotent(t *testing.T) {
 		t.Fatalf("Installed snapshot unordered: %v", got)
 	}
 }
+
+func sinkholeVaccine() vaccine.Vaccine {
+	return vaccine.Vaccine{
+		ID: "worm/domain/0", Sample: "worm",
+		Resource: winenv.KindDomain, Identifier: "cc.botnet.example",
+		Class: determinism.Static, Op: "open", API: "gethostbyname",
+		Effect: impact.TypeII, Polarity: vaccine.BlockAccess,
+		Delivery: vaccine.DirectInjection,
+	}
+}
+
+func TestInjectDomainSinkhole(t *testing.T) {
+	env := winenv.New(winenv.DefaultIdentity())
+	v := sinkholeVaccine()
+	if err := Inject(env, &v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env.Net().Resolve("mal.exe", "cc.botnet.example"); ok {
+		t.Fatal("sinkholed C2 domain still resolves")
+	}
+	if err := Remove(env, &v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env.Net().Resolve("mal.exe", "cc.botnet.example"); !ok {
+		t.Fatal("domain still sinkholed after Remove")
+	}
+}
+
+func TestInjectDomainKillswitchRegistration(t *testing.T) {
+	env := winenv.New(winenv.DefaultIdentity())
+	v := sinkholeVaccine()
+	v.ID = "worm/domain/1"
+	v.Identifier = "iuqerfsod.example"
+	v.Polarity = vaccine.SimulatePresence
+	if err := Inject(env, &v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !env.Net().Registered("iuqerfsod.example") {
+		t.Fatal("killswitch not registered")
+	}
+	if err := Remove(env, &v, 1); err != nil {
+		t.Fatal(err)
+	}
+	if env.Net().Registered("iuqerfsod.example") {
+		t.Fatal("killswitch still registered after Remove")
+	}
+}
+
+func TestDaemonDomainPatternSinkhole(t *testing.T) {
+	env := winenv.New(winenv.DefaultIdentity())
+	d := NewDaemon(env, 1)
+	v := sinkholeVaccine()
+	v.Class = determinism.PartialStatic
+	v.Identifier = ""
+	v.Pattern = "*.dga-feed.example"
+	v.Delivery = vaccine.VaccineDaemon
+	if err := d.Install(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := env.Net().Resolve("mal.exe", "win-x.dga-feed.example"); ok {
+		t.Fatal("patterned DGA domain resolved through daemon")
+	}
+	if _, ok := env.Net().Resolve("mal.exe", "update.example.com"); !ok {
+		t.Fatal("unrelated domain refused by daemon")
+	}
+	// A presence-polarity pattern forces resolution instead.
+	reg := sinkholeVaccine()
+	reg.ID = "worm/domain/2"
+	reg.Class = determinism.PartialStatic
+	reg.Identifier = ""
+	reg.Pattern = "ks-*.example"
+	reg.Polarity = vaccine.SimulatePresence
+	reg.Delivery = vaccine.VaccineDaemon
+	if err := d.Install(reg); err != nil {
+		t.Fatal(err)
+	}
+	env.Net().SetResponder(refuseResponder{})
+	if _, ok := env.Net().Resolve("mal.exe", "ks-2026.example"); !ok {
+		t.Fatal("presence pattern did not force registration over responder refusal")
+	}
+	if _, intercepted := d.Stats(); intercepted < 2 {
+		t.Fatalf("intercepts = %d, want >= 2", intercepted)
+	}
+}
+
+// refuseResponder scripts a world where nothing exists.
+type refuseResponder struct{}
+
+func (refuseResponder) ResolveHost(string) (string, bool, bool) { return "", false, true }
+func (refuseResponder) AcceptConnect(string) (bool, bool)       { return false, true }
+func (refuseResponder) ObserveSend(string, []byte)              {}
+func (refuseResponder) Payload(string, int) ([]byte, bool)      { return nil, false }
+func (refuseResponder) Mark() any                               { return nil }
+func (refuseResponder) Rewind(any)                              {}

@@ -61,6 +61,60 @@ func (ix *Index) addWhitelist() {
 		`HKLM\Software\Microsoft\Windows NT\CurrentVersion\Winlogon`,
 		`HKLM\System\CurrentControlSet\Services`)
 	add(winenv.KindService, "EventLog", "Dhcp", "Dnscache", "LanmanServer")
+	add(winenv.KindDomain, DefaultBenignDomains()...)
+}
+
+// DefaultBenignDomains lists well-known benign-traffic domains that
+// must never become vaccine material: sinkholing update.microsoft.com
+// would break every machine's update path. Exclusiveness checks match
+// these by suffix, so sub-domains are covered too.
+func DefaultBenignDomains() []string {
+	return []string{
+		"update.microsoft.com",
+		"windowsupdate.microsoft.com",
+		"download.windowsupdate.com",
+		"time.windows.com",
+		"crl.microsoft.com",
+		"www.msftncsi.com",
+		"dns.msftncsi.com",
+		"ocsp.digicert.com",
+	}
+}
+
+// IsBenignDomain reports whether a hostname (or host:port/URL target)
+// is one of the default benign-traffic domains or a sub-domain of one.
+// cmd/vaccheck uses it as a standalone audit rule for sinkhole vaccines.
+func IsBenignDomain(target string) bool {
+	host := domainKey(target)
+	for _, d := range DefaultBenignDomains() {
+		if domainCovers(d, host) {
+			return true
+		}
+	}
+	return false
+}
+
+// domainKey normalizes a domain identifier: lower-case bare hostname
+// with scheme, path, and port stripped. URLs and host:port targets
+// index under their hostname.
+func domainKey(s string) string {
+	h := strings.ToLower(s)
+	if i := strings.Index(h, "://"); i >= 0 {
+		h = h[i+3:]
+	}
+	if i := strings.IndexByte(h, '/'); i >= 0 {
+		h = h[:i]
+	}
+	if i := strings.LastIndexByte(h, ':'); i >= 0 {
+		h = h[:i]
+	}
+	return h
+}
+
+// domainCovers reports whether benign (a bare lower-case hostname)
+// covers host: equal, or host is a sub-domain of benign.
+func domainCovers(benign, host string) bool {
+	return host == benign || strings.HasSuffix(host, "."+benign)
 }
 
 // Add records a benign use of an identifier.
@@ -70,7 +124,7 @@ func (ix *Index) Add(kind winenv.ResourceKind, identifier, user string) {
 		m = make(map[string]string)
 		ix.used[kind] = m
 	}
-	key := canonical(identifier)
+	key := canonicalFor(kind, identifier)
 	if _, ok := m[key]; !ok {
 		m[key] = user
 	}
@@ -81,17 +135,48 @@ func canonical(s string) string {
 	return strings.ToLower(strings.ReplaceAll(s, "/", `\`))
 }
 
+// canonicalFor picks the kind's canonicalization: domains index under
+// their bare hostname (slash rewriting would mangle URLs), everything
+// else under the winenv namespace spelling.
+func canonicalFor(kind winenv.ResourceKind, s string) string {
+	if kind == winenv.KindDomain {
+		return domainKey(s)
+	}
+	return canonical(s)
+}
+
 // Exclusive reports whether the identifier is NOT associated with
-// benign software (and therefore usable as a vaccine).
+// benign software (and therefore usable as a vaccine). Domain
+// identifiers also match by parent suffix: a benign entry for
+// update.microsoft.com covers dl.update.microsoft.com, so DGA-looking
+// sub-domains of benign zones never become vaccines.
 func (ix *Index) Exclusive(kind winenv.ResourceKind, identifier string) bool {
-	_, used := ix.used[kind][canonical(identifier)]
+	_, used := ix.benignUse(kind, identifier)
 	return !used
 }
 
 // BenignUser returns the benign program first seen using an identifier.
 func (ix *Index) BenignUser(kind winenv.ResourceKind, identifier string) (string, bool) {
-	u, ok := ix.used[kind][canonical(identifier)]
-	return u, ok
+	return ix.benignUse(kind, identifier)
+}
+
+// benignUse is the shared lookup behind Exclusive and BenignUser.
+func (ix *Index) benignUse(kind winenv.ResourceKind, identifier string) (string, bool) {
+	m := ix.used[kind]
+	key := canonicalFor(kind, identifier)
+	if u, ok := m[key]; ok {
+		return u, true
+	}
+	if kind == winenv.KindDomain {
+		// Walk parent suffixes: a.b.example → b.example → example.
+		for i := strings.IndexByte(key, '.'); i >= 0; i = strings.IndexByte(key, '.') {
+			key = key[i+1:]
+			if u, ok := m[key]; ok {
+				return u, true
+			}
+		}
+	}
+	return "", false
 }
 
 // ExclusivePattern reports whether no indexed benign identifier matches

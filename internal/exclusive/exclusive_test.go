@@ -105,3 +105,46 @@ func TestBuildIndexDeterministic(t *testing.T) {
 		t.Errorf("index sizes differ: %d vs %d", a.Size(), b.Size())
 	}
 }
+
+func TestDomainExclusiveness(t *testing.T) {
+	ix := NewIndex()
+	// Benign-traffic allowlist blocks exact and sub-domain matches,
+	// in any identifier spelling (bare host, host:port, URL).
+	for _, id := range []string{
+		"update.microsoft.com",
+		"UPDATE.MICROSOFT.COM:443",
+		"http://update.microsoft.com/v11/check",
+		"dl.update.microsoft.com",
+	} {
+		if ix.Exclusive(winenv.KindDomain, id) {
+			t.Errorf("benign domain %q reported exclusive", id)
+		}
+	}
+	// Malware-exclusive domains stay exclusive.
+	for _, id := range []string{
+		"rv-cnf-gen.example:445",
+		"iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.example",
+		"microsoft.com.evil.example", // benign name as a NON-suffix
+	} {
+		if !ix.Exclusive(winenv.KindDomain, id) {
+			t.Errorf("exclusive domain %q reported benign", id)
+		}
+	}
+	// Profiled benign traffic joins the oracle.
+	ix.Add(winenv.KindDomain, "telemetry.vendor.example:443", "officesuite")
+	if ix.Exclusive(winenv.KindDomain, "telemetry.vendor.example") {
+		t.Error("profiled benign domain reported exclusive")
+	}
+	if u, ok := ix.BenignUser(winenv.KindDomain, "api.telemetry.vendor.example"); !ok || u != "officesuite" {
+		t.Errorf("sub-domain BenignUser = %q, %v", u, ok)
+	}
+}
+
+func TestIsBenignDomain(t *testing.T) {
+	if !IsBenignDomain("time.windows.com") || !IsBenignDomain("a.time.windows.com:123") {
+		t.Error("benign domain not recognized")
+	}
+	if IsBenignDomain("cc.botnet.example") || IsBenignDomain("windows.com.evil.example") {
+		t.Error("non-benign domain recognized as benign")
+	}
+}

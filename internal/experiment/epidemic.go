@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"autovac/internal/core"
+	"autovac/internal/fleet"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// The epidemic experiment closes AUTOVAC's loop end to end: a
+// killswitch worm is analysed by the pipeline under a pseudo-C2
+// scenario, the extracted domain vaccine is published to a fleet
+// registry, and worm propagation races the fleet's delta sync at
+// several latencies. The paper's Phase-III claim — vaccine delivery
+// beats patch delivery because a vaccine needs no per-sample
+// signature — shows up here as the immunized fleet's infection curve
+// flattening at sync time while the unprotected control saturates.
+
+// EpidemicConfig configures the worm-race experiment.
+type EpidemicConfig struct {
+	// Hosts is the fleet size (default 48).
+	Hosts int
+	// Waves is the number of propagation rounds (default 10).
+	Waves int
+	// Fanout is infection attempts per infected host per wave
+	// (default 2).
+	Fanout int
+	// PublishWave is when the vaccine pack reaches the registry
+	// (default 1).
+	PublishWave int
+	// Latencies are the sync latencies (waves after publication) to
+	// race; an unprotected control (-1) is always appended. Default
+	// {0, 2, 4}.
+	Latencies []int
+	// Seed drives the whole experiment.
+	Seed uint64
+}
+
+// EpidemicRow is one simulated fleet's outcome.
+type EpidemicRow struct {
+	// Latency is the sync latency in waves; -1 is the unprotected
+	// control.
+	Latency int
+	// Curve is the infected-host count per wave (Curve[0] = seeding).
+	Curve []int
+	// FinalInfected is the infected count after the last wave.
+	FinalInfected int
+	// Attempts and Repelled count infection attempts and survivals.
+	Attempts int
+	Repelled int
+	// Immunized counts hosts that installed the pack.
+	Immunized int
+}
+
+// EpidemicReport is the full experiment outcome.
+type EpidemicReport struct {
+	// Killswitch is the worm's killswitch domain (the vaccine
+	// identifier).
+	Killswitch string
+	// Vaccines is the pipeline's domain-vaccine pack for the worm.
+	Vaccines []vaccine.Vaccine
+	// Hosts and Waves echo the configuration.
+	Hosts, Waves int
+	// Rows holds one fleet per latency, control last.
+	Rows []EpidemicRow
+}
+
+// RunEpidemic builds the killswitch worm, extracts its domain vaccine
+// through the full pipeline, and races propagation against delta sync
+// at each configured latency plus the unprotected control.
+func RunEpidemic(cfg EpidemicConfig) (*EpidemicReport, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 48
+	}
+	if cfg.Waves <= 0 {
+		cfg.Waves = 10
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.PublishWave <= 0 {
+		cfg.PublishWave = 1
+	}
+	if len(cfg.Latencies) == 0 {
+		cfg.Latencies = []int{0, 2, 4}
+	}
+
+	const killswitch = "iuqerfsodp9ifjaposdfjhgosurijfaewrwergwea.example"
+	gen := malware.NewGenerator(int64(cfg.Seed))
+	worm, err := gen.WormSample(killswitch)
+	if err != nil {
+		return nil, err
+	}
+	sc := malware.WormScenario(killswitch)
+
+	p := core.New(core.Config{Seed: cfg.Seed, C2: sc})
+	res, err := p.Analyze(worm)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: analysing worm: %w", err)
+	}
+	var vs []vaccine.Vaccine
+	for _, v := range res.Vaccines {
+		if v.Resource == winenv.KindDomain {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("experiment: no domain vaccine extracted from killswitch worm")
+	}
+	pack := &vaccine.Pack{Generator: "epidemic", Vaccines: vs}
+	if err := pack.Verify(); err != nil {
+		return nil, fmt.Errorf("experiment: worm vaccine pack: %w", err)
+	}
+
+	rep := &EpidemicReport{
+		Killswitch: killswitch,
+		Vaccines:   vs,
+		Hosts:      cfg.Hosts,
+		Waves:      cfg.Waves,
+	}
+	for _, lat := range append(append([]int{}, cfg.Latencies...), -1) {
+		wcfg := fleet.WormConfig{
+			Hosts:       cfg.Hosts,
+			Waves:       cfg.Waves,
+			Fanout:      cfg.Fanout,
+			Worm:        worm,
+			Scenario:    sc,
+			Seed:        cfg.Seed,
+			PublishWave: cfg.PublishWave,
+			SyncLatency: lat,
+		}
+		if lat >= 0 {
+			wcfg.Vaccines = vs
+		}
+		wres, err := fleet.SimulateWorm(wcfg)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, EpidemicRow{
+			Latency:       lat,
+			Curve:         wres.Curve,
+			FinalInfected: wres.FinalInfected(),
+			Attempts:      wres.Attempts,
+			Repelled:      wres.Repelled,
+			Immunized:     wres.Immunized,
+		})
+	}
+	return rep, nil
+}
+
+// RenderEpidemic renders the infection curves as a text table, one row
+// per sync latency, one column per wave.
+func RenderEpidemic(rep *EpidemicReport) string {
+	var b strings.Builder
+	b.WriteString("Epidemic — killswitch worm vs vaccine delta sync\n")
+	fmt.Fprintf(&b, "worm killswitch %q; %d hosts, %d waves; vaccine: %s\n",
+		rep.Killswitch, rep.Hosts, rep.Waves, rep.Vaccines[0].String())
+	fmt.Fprintf(&b, "%-10s", "sync lat.")
+	for w := 0; w < len(rep.Rows[0].Curve); w++ {
+		fmt.Fprintf(&b, " %4s", fmt.Sprintf("w%d", w))
+	}
+	fmt.Fprintf(&b, " %9s\n", "repelled")
+	for _, r := range rep.Rows {
+		label := fmt.Sprintf("+%d waves", r.Latency)
+		if r.Latency < 0 {
+			label = "control"
+		}
+		fmt.Fprintf(&b, "%-10s", label)
+		for _, n := range r.Curve {
+			fmt.Fprintf(&b, " %4d", n)
+		}
+		fmt.Fprintf(&b, " %9d\n", r.Repelled)
+	}
+	return b.String()
+}

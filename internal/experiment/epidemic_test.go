@@ -1,0 +1,57 @@
+package experiment_test
+
+import (
+	"strings"
+	"testing"
+
+	"autovac/internal/experiment"
+	"autovac/internal/winenv"
+)
+
+func TestRunEpidemic(t *testing.T) {
+	rep, err := experiment.RunEpidemic(experiment.EpidemicConfig{
+		Hosts: 24, Waves: 6, Fanout: 2, PublishWave: 1,
+		Latencies: []int{0, 2}, Seed: 42,
+	})
+	if err != nil {
+		t.Fatalf("RunEpidemic: %v", err)
+	}
+	if len(rep.Vaccines) == 0 || rep.Vaccines[0].Resource != winenv.KindDomain {
+		t.Fatalf("expected a domain vaccine, got %v", rep.Vaccines)
+	}
+	if rep.Vaccines[0].Identifier != rep.Killswitch {
+		t.Errorf("vaccine identifier %q != killswitch %q",
+			rep.Vaccines[0].Identifier, rep.Killswitch)
+	}
+	// Latencies {0, 2} plus the control.
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+	control := rep.Rows[len(rep.Rows)-1]
+	if control.Latency != -1 {
+		t.Fatalf("last row is not the control: %+v", control)
+	}
+	// Immunized fleets converge strictly below the unprotected control,
+	// and a faster sync never does worse than a slower one.
+	prev := 0
+	for _, r := range rep.Rows[:len(rep.Rows)-1] {
+		if r.FinalInfected >= control.FinalInfected {
+			t.Errorf("latency %d final %d not below control %d",
+				r.Latency, r.FinalInfected, control.FinalInfected)
+		}
+		if r.Immunized == 0 {
+			t.Errorf("latency %d immunized no hosts", r.Latency)
+		}
+		if r.FinalInfected < prev {
+			t.Errorf("faster sync did worse: %+v", rep.Rows)
+		}
+		prev = r.FinalInfected
+	}
+
+	out := experiment.RenderEpidemic(rep)
+	for _, want := range []string{"Epidemic", "control", "+0 waves", "+2 waves", rep.Killswitch} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

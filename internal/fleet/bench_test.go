@@ -12,6 +12,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"autovac/internal/malware"
 )
 
 // benchRegistrySize is the steady-state registry population: the same
@@ -83,6 +85,34 @@ func BenchmarkCheckin(b *testing.B) {
 	})
 	if st := srv.Registry().Fleet(time.Hour, time.Now()); st.ActiveHosts == 0 {
 		b.Fatal("no hosts recorded")
+	}
+}
+
+// BenchmarkWormSim measures one full epidemic simulation: worm
+// propagation across an emulated fleet racing the vaccine delta sync.
+func BenchmarkWormSim(b *testing.B) {
+	const killswitch = "bench-killswitch.example"
+	gen := malware.NewGenerator(7)
+	worm, err := gen.WormSample(killswitch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := malware.WormScenario(killswitch)
+	vs := testVaccines("worm", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := SimulateWorm(WormConfig{
+			Hosts: 48, Waves: 8, Fanout: 2, Seed: 11,
+			Worm: worm, Scenario: sc, Vaccines: vs,
+			PublishWave: 2, SyncLatency: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FinalInfected() == 0 {
+			b.Fatal("no infections")
+		}
 	}
 }
 

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"autovac/internal/c2"
+	"autovac/internal/deploy"
+	"autovac/internal/emu"
+	"autovac/internal/malware"
+	"autovac/internal/trace"
+	"autovac/internal/vaccine"
+	"autovac/internal/winapi"
+	"autovac/internal/winenv"
+)
+
+// WormConfig configures an epidemic simulation: a self-propagating
+// sample races vaccine distribution across a fleet of emulated hosts.
+type WormConfig struct {
+	// Hosts is the fleet size (default 64).
+	Hosts int
+	// InitialInfected seeds patient zero(s) (default 1).
+	InitialInfected int
+	// Waves is the number of propagation rounds (default 10).
+	Waves int
+	// Fanout is how many infection attempts each infected host makes
+	// per wave (default 2).
+	Fanout int
+	// Worm is the sample that propagates. A host counts as infected
+	// when the worm runs to HALT on it; a stand-down (ExitProcess, e.g.
+	// the killswitch resolving) leaves the host clean.
+	Worm *malware.Sample
+	// Scenario is the network world every host sees (each host gets its
+	// own responder). Nil leaves the default network.
+	Scenario *c2.Scenario
+	// Vaccines are published to the fleet registry at the start of wave
+	// PublishWave (0-based).
+	Vaccines []vaccine.Vaccine
+	// PublishWave is when the vaccine pack is published.
+	PublishWave int
+	// SyncLatency is how many waves after publication the hosts'
+	// delta sync lands (0 = same wave). Negative means the fleet never
+	// syncs — the unprotected control run.
+	SyncLatency int
+	// Seed drives host identities, target selection, and emulation.
+	Seed uint64
+	// MaxSteps bounds each worm run (0 = emulator default).
+	MaxSteps int
+}
+
+// WormResult is the outcome of one epidemic simulation.
+type WormResult struct {
+	// Curve holds the infected-host count after each wave; Curve[0] is
+	// the initial seeding, so len(Curve) == Waves+1.
+	Curve []int
+	// Attempts counts infection attempts against clean hosts.
+	Attempts int
+	// Repelled counts attempts the target survived (worm stood down).
+	Repelled int
+	// Immunized counts hosts that installed the vaccine pack.
+	Immunized int
+	// RegistryVersion is the fleet registry's final version.
+	RegistryVersion uint64
+}
+
+// FinalInfected returns the infected count after the last wave.
+func (r *WormResult) FinalInfected() int { return r.Curve[len(r.Curve)-1] }
+
+// wormHost is one fleet member's state.
+type wormHost struct {
+	env      *winenv.Env
+	daemon   *deploy.Daemon
+	infected bool
+}
+
+// SimulateWorm races worm propagation against vaccine delta sync. Each
+// wave, every infected host attacks Fanout random fleet members; a
+// clean target runs the worm in its own environment and becomes
+// infected when the sample completes (trace exit HALT). Vaccines are
+// published to a fleet Registry at PublishWave and land on every host
+// SyncLatency waves later via the registry's delta path and the host's
+// deploy daemon — exactly what an Agent's SyncOnce applies, minus the
+// HTTP round trip. Infection trials within a wave run concurrently
+// (one goroutine per distinct target); target selection stays on the
+// caller's goroutine, so a fixed Seed gives a reproducible curve.
+func SimulateWorm(cfg WormConfig) (*WormResult, error) {
+	if cfg.Worm == nil {
+		return nil, fmt.Errorf("fleet: worm simulation needs a worm sample")
+	}
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 64
+	}
+	if cfg.InitialInfected <= 0 {
+		cfg.InitialInfected = 1
+	}
+	if cfg.InitialInfected > cfg.Hosts {
+		cfg.InitialInfected = cfg.Hosts
+	}
+	if cfg.Waves <= 0 {
+		cfg.Waves = 10
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+
+	hosts := make([]*wormHost, cfg.Hosts)
+	for i := range hosts {
+		id := winenv.DefaultIdentity()
+		id.ComputerName = fmt.Sprintf("WORM-PC-%03d", i)
+		id.IPAddress = fmt.Sprintf("10.2.%d.%d", i/250, i%250+1)
+		env := winenv.New(id)
+		if cfg.Scenario != nil {
+			env.Net().SetResponder(cfg.Scenario.NewResponder())
+		}
+		hosts[i] = &wormHost{
+			env:    env,
+			daemon: deploy.NewDaemon(env, cfg.Seed+uint64(i)),
+		}
+	}
+	for i := 0; i < cfg.InitialInfected; i++ {
+		hosts[i].infected = true
+	}
+
+	reg := NewRegistry(0)
+	rng := rand.New(rand.NewSource(int64(cfg.Seed)))
+	registry := winapi.StandardC2()
+
+	res := &WormResult{Curve: []int{cfg.InitialInfected}}
+	installWave := -1
+	if cfg.SyncLatency >= 0 {
+		installWave = cfg.PublishWave + cfg.SyncLatency
+	}
+
+	for wave := 0; wave < cfg.Waves; wave++ {
+		if wave == cfg.PublishWave && len(cfg.Vaccines) > 0 {
+			if _, _, err := reg.Publish(cfg.Vaccines...); err != nil {
+				return nil, err
+			}
+		}
+		if wave == installWave && reg.Latest() > 0 {
+			delta := reg.Delta(0)
+			for _, h := range hosts {
+				h.daemon.InstallPack(delta.Vaccines)
+				res.Immunized++
+			}
+		}
+
+		// Pick this wave's victims on the sim goroutine (deterministic),
+		// then run the distinct clean targets' trials concurrently.
+		targets := make(map[int]bool)
+		for hi, h := range hosts {
+			if !h.infected {
+				continue
+			}
+			for f := 0; f < cfg.Fanout; f++ {
+				ti := rng.Intn(cfg.Hosts)
+				if ti == hi || hosts[ti].infected || targets[ti] {
+					continue
+				}
+				res.Attempts++
+				targets[ti] = true
+			}
+		}
+		order := make([]int, 0, len(targets))
+		for ti := range targets {
+			order = append(order, ti)
+		}
+
+		type outcome struct {
+			infected bool
+			err      error
+		}
+		outcomes := make(map[int]*outcome, len(order))
+		var wg sync.WaitGroup
+		for _, ti := range order {
+			oc := &outcome{}
+			outcomes[ti] = oc
+			wg.Add(1)
+			go func(h *wormHost, seed uint64, oc *outcome) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						oc.err = fmt.Errorf("worm run panicked: %v", r)
+					}
+				}()
+				tr, err := emu.Run(cfg.Worm.Program, h.env, emu.Options{
+					Seed:     seed,
+					Registry: registry,
+					MaxSteps: cfg.MaxSteps,
+				})
+				if err != nil {
+					oc.err = err
+					return
+				}
+				oc.infected = tr.Exit == trace.ExitHalt
+			}(hosts[ti], cfg.Seed+uint64(ti), oc)
+		}
+		wg.Wait()
+
+		for _, ti := range order {
+			oc := outcomes[ti]
+			if oc.err != nil {
+				return nil, fmt.Errorf("fleet: worm on host %d: %w", ti, oc.err)
+			}
+			if oc.infected {
+				hosts[ti].infected = true
+			} else {
+				res.Repelled++
+			}
+		}
+
+		infected := 0
+		for _, h := range hosts {
+			if h.infected {
+				infected++
+			}
+		}
+		res.Curve = append(res.Curve, infected)
+	}
+	res.RegistryVersion = reg.Latest()
+	return res, nil
+}

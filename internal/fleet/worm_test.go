@@ -1,0 +1,176 @@
+package fleet_test
+
+import (
+	"testing"
+
+	"autovac/internal/core"
+	"autovac/internal/fleet"
+	"autovac/internal/malware"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+const testKillswitch = "iuqerfsodp9ifjaposd.example"
+
+// wormFixture builds the killswitch worm and runs it through the full
+// pipeline to obtain its domain vaccine — the same path the epidemic
+// experiment and examples/conficker_worm use.
+func wormFixture(t *testing.T) (*malware.Sample, []vaccine.Vaccine) {
+	t.Helper()
+	gen := malware.NewGenerator(7)
+	worm, err := gen.WormSample(testKillswitch)
+	if err != nil {
+		t.Fatalf("WormSample: %v", err)
+	}
+	sc := malware.WormScenario(testKillswitch)
+	p := core.New(core.Config{Seed: 7, C2: sc})
+	res, err := p.Analyze(worm)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var domainVaccines []vaccine.Vaccine
+	for _, v := range res.Vaccines {
+		if v.Resource == winenv.KindDomain {
+			domainVaccines = append(domainVaccines, v)
+		}
+	}
+	if len(domainVaccines) == 0 {
+		t.Fatalf("no domain vaccine extracted from killswitch worm; got %v", res.Vaccines)
+	}
+	return worm, domainVaccines
+}
+
+func TestWormPipelineExtractsKillswitchVaccine(t *testing.T) {
+	_, vs := wormFixture(t)
+	v := vs[0]
+	if v.Identifier != testKillswitch {
+		t.Errorf("vaccine identifier = %q, want %q", v.Identifier, testKillswitch)
+	}
+	if v.Polarity != vaccine.SimulatePresence {
+		t.Errorf("vaccine polarity = %v, want simulate-presence", v.Polarity)
+	}
+	pack := &vaccine.Pack{Generator: "test", Vaccines: vs}
+	if err := pack.Verify(); err != nil {
+		t.Errorf("Pack.Verify: %v", err)
+	}
+}
+
+func TestSimulateWormUnprotectedSpreads(t *testing.T) {
+	worm, _ := wormFixture(t)
+	res, err := fleet.SimulateWorm(fleet.WormConfig{
+		Hosts: 32, Waves: 8, Fanout: 2, Seed: 11,
+		Worm:     worm,
+		Scenario: malware.WormScenario(testKillswitch),
+		// No vaccines: the unprotected control.
+		SyncLatency: -1,
+	})
+	if err != nil {
+		t.Fatalf("SimulateWorm: %v", err)
+	}
+	if len(res.Curve) != 9 {
+		t.Fatalf("curve length = %d, want 9", len(res.Curve))
+	}
+	if res.FinalInfected() <= 1 {
+		t.Errorf("unprotected worm did not spread: curve %v", res.Curve)
+	}
+	if res.Immunized != 0 {
+		t.Errorf("control run immunized %d hosts", res.Immunized)
+	}
+	for i := 1; i < len(res.Curve); i++ {
+		if res.Curve[i] < res.Curve[i-1] {
+			t.Errorf("infection curve decreased at wave %d: %v", i, res.Curve)
+		}
+	}
+}
+
+func TestSimulateWormVaccinatedConvergesBelowControl(t *testing.T) {
+	worm, vs := wormFixture(t)
+	sc := malware.WormScenario(testKillswitch)
+
+	control, err := fleet.SimulateWorm(fleet.WormConfig{
+		Hosts: 32, Waves: 8, Fanout: 2, Seed: 11,
+		Worm: worm, Scenario: sc, SyncLatency: -1,
+	})
+	if err != nil {
+		t.Fatalf("control: %v", err)
+	}
+	immediate, err := fleet.SimulateWorm(fleet.WormConfig{
+		Hosts: 32, Waves: 8, Fanout: 2, Seed: 11,
+		Worm: worm, Scenario: sc, Vaccines: vs,
+		PublishWave: 0, SyncLatency: 0,
+	})
+	if err != nil {
+		t.Fatalf("immediate sync: %v", err)
+	}
+	if immediate.Immunized != 32 {
+		t.Errorf("immunized = %d, want 32", immediate.Immunized)
+	}
+	// Vaccines land before the first attack wave: nobody beyond patient
+	// zero gets infected.
+	if immediate.FinalInfected() != 1 {
+		t.Errorf("vaccinated fleet still infected: curve %v", immediate.Curve)
+	}
+	if immediate.FinalInfected() >= control.FinalInfected() {
+		t.Errorf("vaccinated (%d) not below control (%d)",
+			immediate.FinalInfected(), control.FinalInfected())
+	}
+	if immediate.Repelled == 0 {
+		t.Errorf("vaccinated fleet repelled no attacks")
+	}
+
+	// A slower sync lands between: some hosts fall before the vaccine.
+	late, err := fleet.SimulateWorm(fleet.WormConfig{
+		Hosts: 32, Waves: 8, Fanout: 2, Seed: 11,
+		Worm: worm, Scenario: sc, Vaccines: vs,
+		PublishWave: 0, SyncLatency: 3,
+	})
+	if err != nil {
+		t.Fatalf("late sync: %v", err)
+	}
+	if late.FinalInfected() < immediate.FinalInfected() ||
+		late.FinalInfected() > control.FinalInfected() {
+		t.Errorf("late-sync infections %d not between immediate %d and control %d",
+			late.FinalInfected(), immediate.FinalInfected(), control.FinalInfected())
+	}
+	// After the sync wave the curve must be flat: every remaining clean
+	// host is immunized.
+	c := late.Curve
+	for i := 5; i < len(c); i++ {
+		if c[i] != c[4] {
+			t.Errorf("curve kept growing after immunization: %v", c)
+			break
+		}
+	}
+}
+
+func TestSimulateWormDeterministic(t *testing.T) {
+	worm, vs := wormFixture(t)
+	sc := malware.WormScenario(testKillswitch)
+	cfg := fleet.WormConfig{
+		Hosts: 24, Waves: 6, Fanout: 2, Seed: 99,
+		Worm: worm, Scenario: sc, Vaccines: vs,
+		PublishWave: 1, SyncLatency: 2,
+	}
+	a, err := fleet.SimulateWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fleet.SimulateWorm(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("same seed, different curves: %v vs %v", a.Curve, b.Curve)
+		}
+	}
+	if a.Attempts != b.Attempts || a.Repelled != b.Repelled {
+		t.Errorf("same seed, different stats: %+v vs %+v", a, b)
+	}
+}
+
+func TestSimulateWormValidation(t *testing.T) {
+	if _, err := fleet.SimulateWorm(fleet.WormConfig{}); err == nil {
+		t.Error("SimulateWorm without a worm sample should fail")
+	}
+}

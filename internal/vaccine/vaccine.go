@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"autovac/internal/determinism"
 	"autovac/internal/impact"
@@ -135,6 +136,18 @@ func (v *Vaccine) Validate() error {
 	}
 	if v.Effect == impact.NoImmunization {
 		return fmt.Errorf("vaccine %s: no immunization effect", v.ID)
+	}
+	if v.Resource == winenv.KindDomain {
+		// Domain vaccines deploy into the DNS world (sinkhole
+		// registrations and blackholes), so the identifier must be a
+		// plausible network name, not a local namespace path.
+		id := v.Identifier
+		if v.Class == determinism.PartialStatic {
+			id = v.Pattern
+		}
+		if strings.ContainsAny(id, "\\ \t\r\n") {
+			return fmt.Errorf("vaccine %s: malformed domain identifier %q", v.ID, id)
+		}
 	}
 	return nil
 }

@@ -123,3 +123,70 @@ func TestReadPackRejectsInvalid(t *testing.T) {
 		t.Error("malformed JSON accepted")
 	}
 }
+
+func domainVaccine() Vaccine {
+	return Vaccine{
+		ID: "worm/domain/0", Sample: "worm", Family: "Conficker",
+		Resource: winenv.KindDomain, Identifier: "cc.botnet.example:445",
+		Class: determinism.Static, Op: "open", API: "connect",
+		Effect: impact.TypeII, Effects: []impact.Effect{impact.TypeII},
+		Polarity: BlockAccess, Delivery: DirectInjection,
+	}
+}
+
+func TestValidateDomainVaccine(t *testing.T) {
+	v := domainVaccine()
+	if err := v.Validate(); err != nil {
+		t.Fatalf("valid domain vaccine rejected: %v", err)
+	}
+	// URLs are valid domain identifiers too.
+	v.Identifier = "http://cc.botnet.example/stage2.bin"
+	if err := v.Validate(); err != nil {
+		t.Fatalf("URL domain identifier rejected: %v", err)
+	}
+	// Local-namespace shapes are not.
+	for _, bad := range []string{`Global\mutex-name`, "two words.example", "tab\t.example"} {
+		v := domainVaccine()
+		v.Identifier = bad
+		if err := v.Validate(); err == nil {
+			t.Errorf("malformed domain identifier %q accepted", bad)
+		}
+	}
+	// Pattern shape is checked for partial-static domain vaccines.
+	p := domainVaccine()
+	p.Class = determinism.PartialStatic
+	p.Pattern = `*\dga.example`
+	p.Delivery = VaccineDaemon
+	if err := p.Validate(); err == nil {
+		t.Error("backslash domain pattern accepted")
+	}
+}
+
+func TestDedupeDomainVaccines(t *testing.T) {
+	a := domainVaccine()
+	b := domainVaccine()
+	b.ID = "worm2/domain/0"
+	b.Sample = "worm2"
+	b.Identifier = "CC.BOTNET.EXAMPLE:445" // case-insensitive merge
+	c := domainVaccine()
+	c.ID = "worm/domain/1"
+	c.Identifier = "iuqerfsod.example"
+	c.Polarity = SimulatePresence // killswitch registration, distinct polarity
+
+	out := Dedupe([]Vaccine{a, b, c})
+	if len(out) != 2 {
+		t.Fatalf("dedupe produced %d vaccines, want 2", len(out))
+	}
+	if out[0].Sample != "worm,worm2" {
+		t.Errorf("merged samples = %q", out[0].Sample)
+	}
+	// Distinct digests for distinct domain payloads.
+	p1 := Pack{Generator: "t", Vaccines: []Vaccine{a}}
+	p2 := Pack{Generator: "t", Vaccines: []Vaccine{c}}
+	if p1.Digest() == p2.Digest() {
+		t.Error("distinct domain packs share a digest")
+	}
+	if err := p1.Verify(); err != nil {
+		t.Errorf("domain pack failed Verify: %v", err)
+	}
+}

@@ -8,21 +8,51 @@ import (
 // socketError is the winsock SOCKET_ERROR return (-1).
 const socketError uint32 = 0xFFFFFFFF
 
-// registerNet adds the winsock/WinINet subset. Network APIs carry no
-// resource label (they are not vaccine material — a C&C address is not a
-// local system resource) but their presence in the normal trace and
-// absence in the mutated trace is exactly what the Type-II
-// "Disable Massive Network Behavior" classifier looks for.
-func registerNet(r *Registry) {
+// maxSendCapture caps how many request bytes a scripted responder sees.
+const maxSendCapture = 256
+
+// registerNet adds the winsock/WinINet subset.
+//
+// With domainLabels false (the Standard registry), network APIs carry no
+// resource label — a C&C address is not a local system resource — but
+// their presence in the normal trace and absence in the mutated trace is
+// exactly what the Type-II "Disable Massive Network Behavior" classifier
+// looks for. This keeps the legacy corpus byte-identical.
+//
+// With domainLabels true (the StandardC2 registry, selected when a c2
+// scenario is attached), the name-taking APIs are labelled with
+// winenv.KindDomain so network identifiers become candidate vaccine
+// material: gethostbyname's hostname, connect's host:port target, and
+// InternetOpenUrlA's URL are resource identifiers with winsock
+// success/failure conventions.
+//
+// Independent of labelling, the byte-level payload paths (send/recv/
+// InternetReadFile) consult the scripted responder only when one is
+// attached; unscripted runs keep the legacy synthetic payloads,
+// including the deterministic PRNG byte stream.
+func registerNet(r *Registry, domainLabels bool) {
+	hostLabel := Label{IdentifierArg: -1, StrArgs: []int{0}, StaticArgs: []int{0}}
+	if domainLabels {
+		hostLabel = Label{
+			Resource: winenv.KindDomain, Op: winenv.OpOpen,
+			IdentifierArg: 0, Taint: TaintReturn,
+			StrArgs: []int{0}, StaticArgs: []int{0},
+			SuccessRet: 0x30000010, FailureRet: 0,
+			FailureErr: winenv.ErrHostNotFound,
+		}
+	}
 	r.Register(Spec{
 		Name: "gethostbyname", NArgs: 1,
-		Label: Label{IdentifierArg: -1, StrArgs: []int{0}, StaticArgs: []int{0}},
+		Label: hostLabel,
 		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
 			host, _, err := m.ReadCString(args[0].Value)
 			if err != nil {
 				return Outcome{}, err
 			}
 			if _, ok := m.Env().Net().Resolve(m.Principal(), host); !ok {
+				if domainLabels {
+					m.Env().SetLastError(winenv.ErrHostNotFound)
+				}
 				return Outcome{Ret: 0}, nil
 			}
 			return Outcome{Ret: 0x30000000 | (hash32(host) & 0x0FFFFFF0), Success: true}, nil
@@ -38,15 +68,28 @@ func registerNet(r *Registry) {
 		},
 	})
 
+	connectLabel := Label{IdentifierArg: -1, StrArgs: []int{1}, StaticArgs: []int{1}}
+	if domainLabels {
+		connectLabel = Label{
+			Resource: winenv.KindDomain, Op: winenv.OpOpen,
+			IdentifierArg: 1, Taint: TaintReturn,
+			StrArgs: []int{1}, StaticArgs: []int{1},
+			SuccessRet: 0, FailureRet: socketError,
+			FailureErr: winenv.ErrConnRefused,
+		}
+	}
 	r.Register(Spec{
 		Name: "connect", NArgs: 2,
-		Label: Label{IdentifierArg: -1, StrArgs: []int{1}, StaticArgs: []int{1}},
+		Label: connectLabel,
 		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
 			target, _, err := m.ReadCString(args[1].Value)
 			if err != nil {
 				return Outcome{}, err
 			}
 			if !m.Env().Net().BindConnect(m.Principal(), winenv.Handle(args[0].Value), target) {
+				if domainLabels {
+					m.Env().SetLastError(winenv.ErrConnRefused)
+				}
 				return Outcome{Ret: socketError}, nil
 			}
 			return Outcome{Ret: 0, Success: true}, nil
@@ -58,7 +101,24 @@ func registerNet(r *Registry) {
 		Label: Label{IdentifierArg: -1},
 		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
 			n := args[2].Value
-			m.Env().Net().RecordSend(m.Principal(), int(n))
+			net := m.Env().Net()
+			if net.HasResponder() {
+				// Scripted dialogue: expose the actual request bytes so
+				// beacon protocols can match on them.
+				cap := n
+				if cap > maxSendCapture {
+					cap = maxSendCapture
+				}
+				data, _, err := m.ReadBytes(args[1].Value, cap)
+				if err != nil {
+					return Outcome{}, err
+				}
+				if !net.SendPayload(m.Principal(), winenv.Handle(args[0].Value), data) {
+					return Outcome{Ret: socketError}, nil
+				}
+				return Outcome{Ret: n, Success: true}, nil
+			}
+			net.RecordSend(m.Principal(), int(n))
 			return Outcome{Ret: n, Success: true}, nil
 		},
 	})
@@ -71,6 +131,24 @@ func registerNet(r *Registry) {
 			if n > 64 {
 				n = 64
 			}
+			net := m.Env().Net()
+			if net.HasResponder() {
+				// Scripted dialogue: the responder decides the reply. The
+				// return value is the byte count (0 = the C2 hung up),
+				// which is what beacon-gated samples branch on.
+				data, ok, handled := net.RecvPayload(m.Principal(), winenv.Handle(args[0].Value), int(n))
+				if handled {
+					if !ok {
+						return Outcome{Ret: socketError}, nil
+					}
+					if len(data) > 0 {
+						if err := m.WriteBytes(args[1].Value, data, src); err != nil {
+							return Outcome{}, err
+						}
+					}
+					return Outcome{Ret: uint32(len(data)), Success: len(data) > 0}, nil
+				}
+			}
 			payload := make([]byte, n)
 			for i := range payload {
 				payload[i] = byte(m.Rand())
@@ -80,7 +158,7 @@ func registerNet(r *Registry) {
 					return Outcome{}, err
 				}
 			}
-			m.Env().Net().RecordRecv(m.Principal(), int(n))
+			net.RecordRecv(m.Principal(), int(n))
 			return Outcome{Ret: n, Success: true}, nil
 		},
 	})
@@ -102,9 +180,19 @@ func registerNet(r *Registry) {
 		},
 	})
 
+	urlLabel := Label{IdentifierArg: -1, StrArgs: []int{1}, StaticArgs: []int{1}}
+	if domainLabels {
+		urlLabel = Label{
+			Resource: winenv.KindDomain, Op: winenv.OpOpen,
+			IdentifierArg: 1, Taint: TaintReturn,
+			StrArgs: []int{1}, StaticArgs: []int{1},
+			SuccessRet: 0x1EB, FailureRet: 0,
+			FailureErr: winenv.ErrHostNotFound,
+		}
+	}
 	r.Register(Spec{
 		Name: "InternetOpenUrlA", NArgs: 2,
-		Label: Label{IdentifierArg: -1, StrArgs: []int{1}, StaticArgs: []int{1}},
+		Label: urlLabel,
 		Impl: func(m Machine, args []Arg, src taint.Set) (Outcome, error) {
 			url, _, err := m.ReadCString(args[1].Value)
 			if err != nil {
@@ -112,6 +200,9 @@ func registerNet(r *Registry) {
 			}
 			h, ok := m.Env().Net().HTTPGet(m.Principal(), url)
 			if !ok {
+				if domainLabels {
+					m.Env().SetLastError(winenv.ErrHostNotFound)
+				}
 				return Outcome{Ret: 0}, nil
 			}
 			return Outcome{Ret: uint32(h), Success: true}, nil
@@ -126,6 +217,23 @@ func registerNet(r *Registry) {
 			if n > 64 {
 				n = 64
 			}
+			net := m.Env().Net()
+			if net.HasResponder() {
+				// Scripted staged fetch: return the byte count so droppers
+				// observe a locked/exhausted stage as a zero-length read.
+				data, ok, handled := net.RecvPayload(m.Principal(), winenv.Handle(args[0].Value), int(n))
+				if handled {
+					if !ok {
+						return Outcome{Ret: 0}, nil
+					}
+					if len(data) > 0 {
+						if err := m.WriteBytes(args[1].Value, data, src); err != nil {
+							return Outcome{}, err
+						}
+					}
+					return Outcome{Ret: uint32(len(data)), Success: len(data) > 0}, nil
+				}
+			}
 			payload := make([]byte, n)
 			for i := range payload {
 				payload[i] = byte(m.Rand())
@@ -135,7 +243,7 @@ func registerNet(r *Registry) {
 					return Outcome{}, err
 				}
 			}
-			m.Env().Net().RecordRecv(m.Principal(), int(n))
+			net.RecordRecv(m.Principal(), int(n))
 			return Outcome{Ret: 1, Success: true}, nil
 		},
 	})
@@ -156,4 +264,10 @@ func NetworkAPIs() []string {
 		"gethostbyname", "socket", "connect", "send", "recv",
 		"InternetOpenA", "InternetOpenUrlA", "InternetReadFile",
 	}
+}
+
+// DomainAPIs lists the name-taking network APIs that carry a KindDomain
+// label in the StandardC2 registry.
+func DomainAPIs() []string {
+	return []string{"gethostbyname", "connect", "InternetOpenUrlA"}
 }

@@ -4,7 +4,21 @@ package winapi
 // mutex, process, service, window, library, network, host-information,
 // and string API this reproduction's programs call. It is the analogue
 // of the paper's examined-and-labelled Windows API table (§III-A).
+// Network APIs carry no resource label here, keeping legacy corpus
+// traces byte-identical.
 func Standard() *Registry {
+	return standard(false)
+}
+
+// StandardC2 is Standard with the name-taking network APIs additionally
+// labelled as winenv.KindDomain resources (see registerNet). The
+// pipeline selects it when a c2 scenario is attached, promoting C2
+// hostnames, host:port targets, and URLs to candidate vaccine material.
+func StandardC2() *Registry {
+	return standard(true)
+}
+
+func standard(domainLabels bool) *Registry {
 	r := NewRegistry()
 	registerFile(r)
 	registerRegistry(r)
@@ -13,7 +27,7 @@ func Standard() *Registry {
 	registerService(r)
 	registerWindow(r)
 	registerLibrary(r)
-	registerNet(r)
+	registerNet(r, domainLabels)
 	registerInfo(r)
 	registerStrings(r)
 	return r

@@ -76,7 +76,7 @@ type openHandle struct {
 	principal string
 }
 
-// Env is a simulated Windows-like environment: seven resource namespaces,
+// Env is a simulated Windows-like environment: eight resource namespaces,
 // a handle table, a last-error register, interception hooks, and an event
 // log. The zero value is not usable; construct with New.
 //
@@ -422,13 +422,20 @@ func (e *Env) Clone() *Env {
 		c.handles[h] = &cp
 	}
 	if e.net != nil {
-		// Copy network configuration (DNS, blackholes) but not flow logs.
+		// Copy network configuration (DNS, blackholes, registrations) but
+		// not flow logs, resolve hooks, or the responder: a responder is
+		// single-env dialogue state, so each clone attaches its own (the
+		// fleet worm simulation gives every host a fresh scenario
+		// responder for race-free concurrent infection attempts).
 		cn := c.Net()
 		for k, v := range e.net.dns {
 			cn.dns[k] = v
 		}
 		for k, v := range e.net.blackholed {
 			cn.blackholed[k] = v
+		}
+		for k, v := range e.net.registered {
+			cn.registered[k] = v
 		}
 	}
 	return c

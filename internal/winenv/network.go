@@ -16,19 +16,88 @@ type Flow struct {
 	OK bool
 }
 
+// MaxFlows caps the retained flow log. A long worm simulation records
+// network activity without bound otherwise; when the cap is reached the
+// oldest half is discarded (capacity-capped, so slices handed out
+// earlier stay intact), mirroring the truncation discipline Snapshot
+// applies to events. Trimming is deferred while snapshots are open:
+// rewind indexes into the flow log must stay valid, and snapshot-scoped
+// runs are bounded by their step budget anyway.
+const MaxFlows = 4096
+
+// Responder scripts the network's side of a dialogue — the pseudo-C2
+// plug-in point (package c2 provides the scenario-driven
+// implementation). All methods are consulted only after blackholes and
+// vaccine registrations have been applied, so deployed vaccines
+// override the scripted world.
+//
+// Responders may be stateful (beacon protocols, staged downloads).
+// Mark and Rewind bracket that state for Snapshot/Reset: Mark returns
+// an opaque token capturing the current dialogue state, Rewind restores
+// it. Stateless responders can return nil and ignore the token.
+type Responder interface {
+	// ResolveHost decides a DNS query. handled=false falls through to
+	// the default resolution (configured DNS entries, then a synthetic
+	// stable address).
+	ResolveHost(host string) (ip string, ok bool, handled bool)
+	// AcceptConnect decides a connection attempt to a host:port target
+	// or URL. handled=false falls through to the default (accept).
+	AcceptConnect(target string) (ok bool, handled bool)
+	// ObserveSend sees payload bytes transmitted on a connection, so
+	// beacon protocols can match request bytes.
+	ObserveSend(target string, data []byte)
+	// Payload produces up to want response bytes for a recv/read on a
+	// connection. handled=false falls through to the default synthetic
+	// payload.
+	Payload(target string, want int) (data []byte, handled bool)
+	// Mark captures the responder's dialogue state; Rewind restores it.
+	Mark() any
+	Rewind(mark any)
+}
+
+// ResolveVerdict is a resolve hook's decision on a DNS query.
+type ResolveVerdict int
+
+// Resolve hook verdicts.
+const (
+	// VerdictNone lets the query proceed to the next authority.
+	VerdictNone ResolveVerdict = iota
+	// VerdictResolve forces the query to succeed (sinkhole
+	// registration: the domain now "exists").
+	VerdictResolve
+	// VerdictRefuse forces the query to fail (DNS sinkhole: NXDOMAIN).
+	VerdictRefuse
+)
+
+// ResolveHook inspects a DNS query before the responder and default
+// resolution. The vaccine daemon uses it to sinkhole partial-static
+// domain patterns (§V's interception, lifted to the DNS path).
+type ResolveHook func(host string) ResolveVerdict
+
 // Network simulates the reachable network from a host. By default every
 // target resolves and connects (malware C&C traffic should be observable
-// in the normal run); individual targets can be blackholed.
+// in the normal run); individual targets can be blackholed, domains can
+// be force-registered (killswitch vaccination), and a Responder can
+// script request/response dialogues.
 type Network struct {
 	env *Env
 	// dns maps hostname -> IP. Unknown hostnames resolve to a synthetic
 	// address unless blackholed.
 	dns map[string]string
-	// blackholed targets fail to resolve/connect.
+	// blackholed targets fail to resolve/connect (DNS sinkhole).
 	blackholed map[string]bool
-	flows      []Flow
-	nextSocket Handle
-	sockets    map[Handle]string // socket -> connected target
+	// registered domains always resolve, overriding the responder's
+	// world — the killswitch-registration vaccine.
+	registered map[string]bool
+	// resolveHooks run before the responder; the vaccine daemon's
+	// pattern sinkholes live here.
+	resolveHooks []ResolveHook
+	responder    Responder
+	flows        []Flow
+	// flowsDropped counts entries discarded by the MaxFlows cap.
+	flowsDropped int
+	nextSocket   Handle
+	sockets      map[Handle]string // socket -> connected target
 }
 
 // Net returns the environment's network simulation, creating it on first
@@ -39,6 +108,7 @@ func (e *Env) Net() *Network {
 			env:        e,
 			dns:        make(map[string]string),
 			blackholed: make(map[string]bool),
+			registered: make(map[string]bool),
 			sockets:    make(map[Handle]string),
 			nextSocket: 0x1000,
 		}
@@ -46,46 +116,169 @@ func (e *Env) Net() *Network {
 	return e.net
 }
 
-// Blackhole makes a hostname or host:port target unreachable.
-func (n *Network) Blackhole(target string) { n.blackholed[target] = true }
+// Blackhole makes a hostname or host:port target unreachable — the
+// DNS-sinkhole deployment of a block-access domain vaccine.
+func (n *Network) Blackhole(target string) {
+	n.env.noteNetEntry(netBlackhole, target)
+	n.blackholed[target] = true
+}
+
+// Unblackhole removes a blackhole.
+func (n *Network) Unblackhole(target string) {
+	n.env.noteNetEntry(netBlackhole, target)
+	delete(n.blackholed, target)
+}
+
+// Blackholed reports whether a target is blackholed.
+func (n *Network) Blackholed(target string) bool { return n.blackholed[target] }
+
+// Register makes a domain resolvable regardless of the scripted world —
+// the killswitch-registration deployment of a simulate-presence domain
+// vaccine (register the killswitch, and the malware that checks it
+// believes it must stand down).
+func (n *Network) Register(domain string) {
+	n.env.noteNetEntry(netRegistered, domain)
+	n.registered[domain] = true
+}
+
+// Deregister removes a forced registration.
+func (n *Network) Deregister(domain string) {
+	n.env.noteNetEntry(netRegistered, domain)
+	delete(n.registered, domain)
+}
+
+// Registered reports whether a domain is force-registered.
+func (n *Network) Registered(domain string) bool { return n.registered[domain] }
 
 // AddDNS maps a hostname to an address.
-func (n *Network) AddDNS(host, ip string) { n.dns[host] = ip }
+func (n *Network) AddDNS(host, ip string) {
+	n.env.noteNetEntry(netDNS, host)
+	n.dns[host] = ip
+}
 
-// Flows returns the recorded network interactions.
+// SetResponder plugs a scripted dialogue behind the network. A nil
+// responder restores the default always-succeed behaviour.
+func (n *Network) SetResponder(r Responder) { n.responder = r }
+
+// HasResponder reports whether a scripted responder is attached.
+func (n *Network) HasResponder() bool { return n.responder != nil }
+
+// AddResolveHook registers a DNS interception hook (vaccine daemon).
+func (n *Network) AddResolveHook(h ResolveHook) {
+	n.resolveHooks = append(n.resolveHooks, h)
+}
+
+// ResolveHookCount returns the number of installed resolve hooks.
+func (n *Network) ResolveHookCount() int { return len(n.resolveHooks) }
+
+// Flows returns the recorded network interactions (the retained tail;
+// see MaxFlows).
 func (n *Network) Flows() []Flow { return n.flows }
+
+// FlowsDropped returns the number of flow entries discarded by the cap.
+func (n *Network) FlowsDropped() int { return n.flowsDropped }
 
 // ResetFlows clears the flow log.
 func (n *Network) ResetFlows() { n.flows = nil }
 
-// record appends a flow entry.
+// record appends a flow entry, trimming the oldest half once the log
+// exceeds MaxFlows (only while no snapshot is open: open snapshots hold
+// rewind indexes into the log).
 func (n *Network) record(principal, verb, target string, bytes int, ok bool) {
 	n.env.tick++
+	if len(n.flows) >= MaxFlows && len(n.env.snaps) == 0 {
+		keep := MaxFlows / 2
+		trimmed := make([]Flow, keep, MaxFlows)
+		copy(trimmed, n.flows[len(n.flows)-keep:])
+		n.flowsDropped += len(n.flows) - keep
+		n.flows = trimmed
+	}
 	n.flows = append(n.flows, Flow{
 		Tick: n.env.tick, Principal: principal, Verb: verb,
 		Target: target, Bytes: bytes, OK: ok,
 	})
 }
 
-// Resolve performs a DNS lookup.
+// Resolve performs a DNS lookup. Authority order: blackholes (vaccine),
+// forced registrations (vaccine), resolve hooks (vaccine daemon),
+// responder (scripted world), configured DNS, synthetic success.
 func (n *Network) Resolve(principal, host string) (string, bool) {
 	if n.blackholed[host] {
 		n.record(principal, "resolve", host, 0, false)
 		return "", false
 	}
-	ip, ok := n.dns[host]
-	if !ok {
-		// Synthesize a stable fake address so C&C domains "resolve".
-		ip = fmt.Sprintf("10.%d.%d.%d",
-			byte(len(host)*7), byte(hashString(host)), byte(hashString(host)>>8))
+	if n.registered[host] {
+		n.record(principal, "resolve", host, 0, true)
+		return n.addrFor(host), true
+	}
+	for _, h := range n.resolveHooks {
+		switch h(host) {
+		case VerdictResolve:
+			n.record(principal, "resolve", host, 0, true)
+			return n.addrFor(host), true
+		case VerdictRefuse:
+			n.record(principal, "resolve", host, 0, false)
+			return "", false
+		}
+	}
+	if n.responder != nil {
+		if ip, ok, handled := n.responder.ResolveHost(host); handled {
+			if !ok {
+				n.record(principal, "resolve", host, 0, false)
+				return "", false
+			}
+			if ip == "" {
+				ip = n.addrFor(host)
+			}
+			n.record(principal, "resolve", host, 0, true)
+			return ip, true
+		}
 	}
 	n.record(principal, "resolve", host, 0, true)
-	return ip, true
+	return n.addrFor(host), true
+}
+
+// addrFor returns the configured or synthetic stable address of a host.
+func (n *Network) addrFor(host string) string {
+	if ip, ok := n.dns[host]; ok {
+		return ip
+	}
+	// Synthesize a stable fake address so C&C domains "resolve".
+	return fmt.Sprintf("10.%d.%d.%d",
+		byte(len(host)*7), byte(hashString(host)), byte(hashString(host)>>8))
+}
+
+// accepts decides a connection attempt, consulting the responder after
+// the vaccine layers. Force-registered hosts accept (the sinkhole
+// listens but serves nothing).
+func (n *Network) accepts(target string) bool {
+	if n.blackholed[target] {
+		return false
+	}
+	if n.registered[target] || n.registered[hostOf(target)] {
+		return true
+	}
+	if n.responder != nil {
+		if ok, handled := n.responder.AcceptConnect(target); handled {
+			return ok
+		}
+	}
+	return true
+}
+
+// hostOf strips the :port suffix of a host:port target.
+func hostOf(target string) string {
+	for i := len(target) - 1; i >= 0; i-- {
+		if target[i] == ':' {
+			return target[:i]
+		}
+	}
+	return target
 }
 
 // Connect opens a connection to host:port, returning a socket handle.
 func (n *Network) Connect(principal, target string) (Handle, bool) {
-	if n.blackholed[target] {
+	if !n.accepts(target) {
 		n.record(principal, "connect", target, 0, false)
 		return InvalidHandle, false
 	}
@@ -110,6 +303,21 @@ func (n *Network) Send(principal string, s Handle, size int) bool {
 	return true
 }
 
+// SendPayload transmits concrete bytes on a socket, exposing them to
+// the responder's dialogue matching (beacon protocols).
+func (n *Network) SendPayload(principal string, s Handle, data []byte) bool {
+	target, ok := n.sockets[s]
+	if !ok {
+		n.record(principal, "send", "?", len(data), false)
+		return false
+	}
+	if n.responder != nil {
+		n.responder.ObserveSend(target, data)
+	}
+	n.record(principal, "send", target, len(data), true)
+	return true
+}
+
 // Recv receives bytes on a socket; the simulation returns a fixed-size
 // synthetic payload.
 func (n *Network) Recv(principal string, s Handle, want int) (int, bool) {
@@ -122,9 +330,33 @@ func (n *Network) Recv(principal string, s Handle, want int) (int, bool) {
 	return want, true
 }
 
+// RecvPayload asks the scripted responder for up to want response
+// bytes on a socket. handled=false means no responder answered and the
+// caller should fall back to its default payload (the legacy synthetic
+// bytes), keeping unscripted runs byte-identical.
+func (n *Network) RecvPayload(principal string, s Handle, want int) (data []byte, ok, handled bool) {
+	target, bound := n.sockets[s]
+	if !bound {
+		n.record(principal, "recv", "?", 0, false)
+		return nil, false, true
+	}
+	if n.responder == nil {
+		return nil, false, false
+	}
+	data, handled = n.responder.Payload(target, want)
+	if !handled {
+		return nil, false, false
+	}
+	if len(data) > want {
+		data = data[:want]
+	}
+	n.record(principal, "recv", target, len(data), true)
+	return data, true, true
+}
+
 // BindConnect connects a caller-allocated socket handle to a target.
 func (n *Network) BindConnect(principal string, s Handle, target string) bool {
-	if n.blackholed[target] {
+	if !n.accepts(target) {
 		n.record(principal, "connect", target, 0, false)
 		return false
 	}
@@ -148,7 +380,7 @@ func (n *Network) RecordRecv(principal string, bytes int) {
 
 // HTTPGet simulates fetching a URL, returning a request handle.
 func (n *Network) HTTPGet(principal, url string) (Handle, bool) {
-	if n.blackholed[url] {
+	if !n.accepts(url) {
 		n.record(principal, "http", url, 0, false)
 		return InvalidHandle, false
 	}

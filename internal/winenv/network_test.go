@@ -1,0 +1,366 @@
+package winenv
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestResolveDefaultAndDNS(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	ip, ok := n.Resolve("mal.exe", "cc.example.com")
+	if !ok || ip == "" {
+		t.Fatalf("unknown host should resolve synthetically, got %q ok=%v", ip, ok)
+	}
+	ip2, _ := n.Resolve("mal.exe", "cc.example.com")
+	if ip2 != ip {
+		t.Fatalf("synthetic address not stable: %q vs %q", ip, ip2)
+	}
+	n.AddDNS("update.example.com", "93.184.216.34")
+	if ip, ok := n.Resolve("mal.exe", "update.example.com"); !ok || ip != "93.184.216.34" {
+		t.Fatalf("configured DNS ignored: %q ok=%v", ip, ok)
+	}
+}
+
+func TestBlackholeFailsResolveAndConnect(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	n.Blackhole("evil.example.com")
+	n.Blackhole("10.0.0.1:445")
+	if _, ok := n.Resolve("mal.exe", "evil.example.com"); ok {
+		t.Fatal("blackholed host resolved")
+	}
+	if !n.Blackholed("evil.example.com") {
+		t.Fatal("Blackholed() false for blackholed host")
+	}
+	if h, ok := n.Connect("mal.exe", "10.0.0.1:445"); ok || h != InvalidHandle {
+		t.Fatalf("connect to blackholed target succeeded: %v %v", h, ok)
+	}
+	n.Unblackhole("evil.example.com")
+	if _, ok := n.Resolve("mal.exe", "evil.example.com"); !ok {
+		t.Fatal("unblackholed host still fails")
+	}
+}
+
+func TestRegisterOverridesResponderRefusal(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	n.SetResponder(refuseAllResponder{})
+	if _, ok := n.Resolve("mal.exe", "killswitch.example.com"); ok {
+		t.Fatal("responder refusal ignored")
+	}
+	n.Register("killswitch.example.com")
+	if !n.Registered("killswitch.example.com") {
+		t.Fatal("Registered() false after Register")
+	}
+	if _, ok := n.Resolve("mal.exe", "killswitch.example.com"); !ok {
+		t.Fatal("registered domain did not resolve")
+	}
+	if _, ok := n.Connect("mal.exe", "killswitch.example.com:80"); !ok {
+		t.Fatal("connect to registered domain refused")
+	}
+	n.Deregister("killswitch.example.com")
+	if _, ok := n.Resolve("mal.exe", "killswitch.example.com"); ok {
+		t.Fatal("deregistered domain still resolves")
+	}
+}
+
+// refuseAllResponder scripts a world where nothing exists.
+type refuseAllResponder struct{}
+
+func (refuseAllResponder) ResolveHost(string) (string, bool, bool) { return "", false, true }
+func (refuseAllResponder) AcceptConnect(string) (bool, bool)       { return false, true }
+func (refuseAllResponder) ObserveSend(string, []byte)              {}
+func (refuseAllResponder) Payload(string, int) ([]byte, bool)      { return nil, false }
+func (refuseAllResponder) Mark() any                               { return nil }
+func (refuseAllResponder) Rewind(any)                              {}
+
+func TestResolveHookVerdicts(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	n.AddResolveHook(func(host string) ResolveVerdict {
+		switch host {
+		case "sinkhole.example.com":
+			return VerdictRefuse
+		case "forced.example.com":
+			return VerdictResolve
+		}
+		return VerdictNone
+	})
+	if n.ResolveHookCount() != 1 {
+		t.Fatalf("hook count = %d", n.ResolveHookCount())
+	}
+	if _, ok := n.Resolve("mal.exe", "sinkhole.example.com"); ok {
+		t.Fatal("VerdictRefuse did not block resolution")
+	}
+	if _, ok := n.Resolve("mal.exe", "forced.example.com"); !ok {
+		t.Fatal("VerdictResolve did not force resolution")
+	}
+	if _, ok := n.Resolve("mal.exe", "other.example.com"); !ok {
+		t.Fatal("VerdictNone should fall through to default success")
+	}
+}
+
+func TestConnectSendRecvLifecycle(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	s, ok := n.Connect("mal.exe", "cc.example.com:8080")
+	if !ok || s == InvalidHandle {
+		t.Fatalf("connect failed: %v %v", s, ok)
+	}
+	if !n.Send("mal.exe", s, 32) {
+		t.Fatal("send on open socket failed")
+	}
+	if got, ok := n.Recv("mal.exe", s, 64); !ok || got != 64 {
+		t.Fatalf("recv = %d, %v", got, ok)
+	}
+	n.CloseSocket(s)
+	if n.Send("mal.exe", s, 8) {
+		t.Fatal("send on closed socket succeeded")
+	}
+	if _, ok := n.Recv("mal.exe", s, 8); ok {
+		t.Fatal("recv on closed socket succeeded")
+	}
+	// Flow log captured the whole dialogue including the failures.
+	var verbs []string
+	for _, f := range n.Flows() {
+		verbs = append(verbs, f.Verb)
+	}
+	want := []string{"connect", "send", "recv", "send", "recv"}
+	if len(verbs) != len(want) {
+		t.Fatalf("flows = %v, want verbs %v", verbs, want)
+	}
+	for i := range want {
+		if verbs[i] != want[i] {
+			t.Fatalf("flow %d verb = %q, want %q", i, verbs[i], want[i])
+		}
+	}
+	if f := n.Flows()[3]; f.OK || f.Target != "?" {
+		t.Fatalf("closed-socket send flow = %+v", f)
+	}
+}
+
+func TestBindConnectAndHTTPGet(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	if !n.BindConnect("mal.exe", Handle(0x2000), "cc.example.com:445") {
+		t.Fatal("BindConnect failed")
+	}
+	if !n.Send("mal.exe", Handle(0x2000), 16) {
+		t.Fatal("send on bound socket failed")
+	}
+	n.Blackhole("cc2.example.com:445")
+	if n.BindConnect("mal.exe", Handle(0x2004), "cc2.example.com:445") {
+		t.Fatal("BindConnect to blackholed target succeeded")
+	}
+	h, ok := n.HTTPGet("mal.exe", "http://payload.example.com/stage2.bin")
+	if !ok || h == InvalidHandle {
+		t.Fatalf("HTTPGet failed: %v %v", h, ok)
+	}
+	n.Blackhole("http://payload2.example.com/x")
+	if _, ok := n.HTTPGet("mal.exe", "http://payload2.example.com/x"); ok {
+		t.Fatal("HTTPGet to blackholed URL succeeded")
+	}
+}
+
+func TestSendRecvPayloadDialogue(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	r := &echoResponder{}
+	n.SetResponder(r)
+	if !n.HasResponder() {
+		t.Fatal("HasResponder false after SetResponder")
+	}
+	s, _ := n.Connect("mal.exe", "beacon.example.com:80")
+	if !n.SendPayload("mal.exe", s, []byte("PING")) {
+		t.Fatal("SendPayload failed")
+	}
+	if !bytes.Equal(r.lastSent, []byte("PING")) {
+		t.Fatalf("responder observed %q", r.lastSent)
+	}
+	data, ok, handled := n.RecvPayload("mal.exe", s, 2)
+	if !handled || !ok || !bytes.Equal(data, []byte("PI")) {
+		t.Fatalf("RecvPayload = %q %v %v (want echo truncated to 2)", data, ok, handled)
+	}
+	// Without a responder, RecvPayload reports unhandled so callers fall
+	// back to the legacy synthetic bytes.
+	n.SetResponder(nil)
+	if _, _, handled := n.RecvPayload("mal.exe", s, 8); handled {
+		t.Fatal("RecvPayload handled without a responder")
+	}
+	if n.SendPayload("mal.exe", Handle(0xdead), []byte("x")) {
+		t.Fatal("SendPayload on unknown socket succeeded")
+	}
+	if _, ok, handled := n.RecvPayload("mal.exe", Handle(0xdead), 8); ok || !handled {
+		t.Fatal("RecvPayload on unknown socket should fail as handled")
+	}
+}
+
+// echoResponder replies to recv with the bytes last sent.
+type echoResponder struct{ lastSent []byte }
+
+func (e *echoResponder) ResolveHost(string) (string, bool, bool) { return "", false, false }
+func (e *echoResponder) AcceptConnect(string) (bool, bool)       { return false, false }
+func (e *echoResponder) ObserveSend(_ string, data []byte) {
+	e.lastSent = append(e.lastSent[:0], data...)
+}
+func (e *echoResponder) Payload(_ string, want int) ([]byte, bool) {
+	return e.lastSent, true
+}
+func (e *echoResponder) Mark() any { return len(e.lastSent) }
+func (e *echoResponder) Rewind(m any) {
+	e.lastSent = e.lastSent[:m.(int)]
+}
+
+func TestFlowCapTrimsOldest(t *testing.T) {
+	n := New(DefaultIdentity()).Net()
+	for i := 0; i < MaxFlows+10; i++ {
+		n.Resolve("mal.exe", "cc.example.com")
+	}
+	if len(n.Flows()) > MaxFlows {
+		t.Fatalf("flow log exceeded cap: %d > %d", len(n.Flows()), MaxFlows)
+	}
+	if n.FlowsDropped() == 0 {
+		t.Fatal("FlowsDropped not counted")
+	}
+	// The retained tail is the newest entries: ticks strictly increase
+	// and end at the final tick.
+	flows := n.Flows()
+	last := flows[len(flows)-1].Tick
+	for i := 1; i < len(flows); i++ {
+		if flows[i].Tick <= flows[i-1].Tick {
+			t.Fatal("retained flows out of order")
+		}
+	}
+	if want := uint64(MaxFlows + 10); last != want {
+		t.Fatalf("last tick = %d, want %d", last, want)
+	}
+}
+
+func TestFlowCapDeferredUnderSnapshot(t *testing.T) {
+	e := New(DefaultIdentity())
+	n := e.Net()
+	s := e.Snapshot()
+	defer s.Close()
+	for i := 0; i < MaxFlows+50; i++ {
+		n.Resolve("mal.exe", "cc.example.com")
+	}
+	// No trim while the snapshot is open: its rewind index must stay
+	// valid.
+	if len(n.Flows()) != MaxFlows+50 {
+		t.Fatalf("flows trimmed under open snapshot: %d", len(n.Flows()))
+	}
+	e.Reset(s)
+	if len(n.Flows()) != 0 {
+		t.Fatalf("reset did not rewind flows: %d", len(n.Flows()))
+	}
+}
+
+func TestSnapshotRewindsNetworkTables(t *testing.T) {
+	e := New(DefaultIdentity())
+	n := e.Net()
+	n.AddDNS("pre.example.com", "1.1.1.1")
+	n.Blackhole("preblack.example.com")
+	n.Register("prereg.example.com")
+
+	s := e.Snapshot()
+	n.AddDNS("pre.example.com", "2.2.2.2") // overwrite
+	n.AddDNS("new.example.com", "3.3.3.3") // add
+	n.Unblackhole("preblack.example.com")
+	n.Blackhole("newblack.example.com")
+	n.Deregister("prereg.example.com")
+	n.Register("newreg.example.com")
+	n.AddResolveHook(func(string) ResolveVerdict { return VerdictRefuse })
+	e.Reset(s)
+	s.Close()
+
+	if ip := n.dns["pre.example.com"]; ip != "1.1.1.1" {
+		t.Fatalf("dns overwrite not rewound: %q", ip)
+	}
+	if _, ok := n.dns["new.example.com"]; ok {
+		t.Fatal("dns addition not rewound")
+	}
+	if !n.Blackholed("preblack.example.com") || n.Blackholed("newblack.example.com") {
+		t.Fatal("blackhole table not rewound")
+	}
+	if !n.Registered("prereg.example.com") || n.Registered("newreg.example.com") {
+		t.Fatal("registration table not rewound")
+	}
+	if n.ResolveHookCount() != 0 {
+		t.Fatalf("resolve hooks not rewound: %d", n.ResolveHookCount())
+	}
+}
+
+func TestNestedSnapshotRewindsSocketsAndDNS(t *testing.T) {
+	e := New(DefaultIdentity())
+	n := e.Net()
+	n.AddDNS("base.example.com", "1.1.1.1")
+
+	outer := e.Snapshot()
+	s1, _ := n.Connect("mal.exe", "a.example.com:80")
+	n.AddDNS("outer.example.com", "2.2.2.2")
+
+	inner := e.Snapshot()
+	s2, _ := n.Connect("mal.exe", "b.example.com:80")
+	n.AddDNS("inner.example.com", "3.3.3.3")
+	n.CloseSocket(s1)
+
+	e.Reset(inner)
+	inner.Close()
+	if _, ok := n.sockets[s2]; ok {
+		t.Fatal("inner socket survived inner reset")
+	}
+	if _, ok := n.sockets[s1]; !ok {
+		t.Fatal("outer socket not restored by inner reset")
+	}
+	if _, ok := n.dns["inner.example.com"]; ok {
+		t.Fatal("inner DNS entry survived inner reset")
+	}
+	if n.dns["outer.example.com"] != "2.2.2.2" {
+		t.Fatal("outer DNS entry lost by inner reset")
+	}
+
+	e.Reset(outer)
+	outer.Close()
+	if _, ok := n.sockets[s1]; ok {
+		t.Fatal("outer socket survived outer reset")
+	}
+	if _, ok := n.dns["outer.example.com"]; ok {
+		t.Fatal("outer DNS entry survived outer reset")
+	}
+	if n.dns["base.example.com"] != "1.1.1.1" {
+		t.Fatal("pre-snapshot DNS entry lost")
+	}
+}
+
+func TestSnapshotRewindsResponderState(t *testing.T) {
+	e := New(DefaultIdentity())
+	n := e.Net()
+	r := &echoResponder{}
+	n.SetResponder(r)
+	s0, _ := n.Connect("mal.exe", "beacon.example.com:80")
+	n.SendPayload("mal.exe", s0, []byte("AB"))
+
+	snap := e.Snapshot()
+	n.SendPayload("mal.exe", s0, []byte("ABCD"))
+	if len(r.lastSent) != 4 {
+		t.Fatalf("responder state = %d bytes", len(r.lastSent))
+	}
+	e.Reset(snap)
+	snap.Close()
+	if string(r.lastSent) != "AB" {
+		t.Fatalf("responder state not rewound: %q", r.lastSent)
+	}
+}
+
+func TestCloneCopiesRegistrations(t *testing.T) {
+	e := New(DefaultIdentity())
+	n := e.Net()
+	n.Register("killswitch.example.com")
+	n.SetResponder(&echoResponder{})
+	c := e.Clone()
+	cn := c.Net()
+	if !cn.Registered("killswitch.example.com") {
+		t.Fatal("clone lost registration")
+	}
+	if cn.HasResponder() {
+		t.Fatal("clone must not share the responder")
+	}
+	cn.Deregister("killswitch.example.com")
+	if !n.Registered("killswitch.example.com") {
+		t.Fatal("clone deregistration leaked into original")
+	}
+}

@@ -16,9 +16,12 @@ import (
 	"strings"
 )
 
-// ResourceKind identifies the namespace a resource lives in. The seven
-// kinds mirror the resource types evaluated in the paper (§VI-B): file,
-// registry, mutex, process, service, window, and library.
+// ResourceKind identifies the namespace a resource lives in. The first
+// seven kinds mirror the resource types evaluated in the paper (§VI-B):
+// file, registry, mutex, process, service, window, and library. The
+// eighth, domain, extends the model to network identifiers (C2 hosts,
+// DGA names, killswitch domains) resolved through the Network
+// simulation rather than the local resource namespaces.
 type ResourceKind int
 
 // Resource kinds, in the order the paper's Figure 3 reports them.
@@ -40,13 +43,19 @@ const (
 	KindWindow
 	// KindLibrary is a loadable module (DLL).
 	KindLibrary
+	// KindDomain is a network identifier: a DNS hostname, host:port
+	// target, or URL. Domain "resources" live in the Network
+	// simulation's DNS world (registered names, sinkholes), not in the
+	// in-memory namespaces; deploy translates domain vaccines into
+	// sinkhole registrations and blackholes.
+	KindDomain
 )
 
 // Kinds lists every valid resource kind in display order.
 func Kinds() []ResourceKind {
 	return []ResourceKind{
 		KindFile, KindRegistry, KindMutex, KindProcess,
-		KindService, KindWindow, KindLibrary,
+		KindService, KindWindow, KindLibrary, KindDomain,
 	}
 }
 
@@ -67,6 +76,8 @@ func (k ResourceKind) String() string {
 		return "window"
 	case KindLibrary:
 		return "library"
+	case KindDomain:
+		return "domain"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -82,9 +93,9 @@ func ParseKind(s string) (ResourceKind, error) {
 	return KindInvalid, fmt.Errorf("winenv: unknown resource kind %q", s)
 }
 
-// Valid reports whether k names one of the seven resource kinds.
+// Valid reports whether k names one of the eight resource kinds.
 func (k ResourceKind) Valid() bool {
-	return k >= KindFile && k <= KindLibrary
+	return k >= KindFile && k <= KindDomain
 }
 
 // Op is a basic operation on a resource. The paper measures create,
@@ -159,7 +170,9 @@ const (
 	ErrProcNotFound     ErrorCode = 127 // ERROR_PROC_NOT_FOUND
 	ErrServiceExists    ErrorCode = 1073
 	ErrServiceNotFound  ErrorCode = 1060
-	ErrWindowNotFound   ErrorCode = 1400 // ERROR_INVALID_WINDOW_HANDLE
+	ErrWindowNotFound   ErrorCode = 1400  // ERROR_INVALID_WINDOW_HANDLE
+	ErrHostNotFound     ErrorCode = 11001 // WSAHOST_NOT_FOUND
+	ErrConnRefused      ErrorCode = 10061 // WSAECONNREFUSED
 )
 
 // String renders the code with its symbolic name where known.
@@ -179,6 +192,8 @@ func (e ErrorCode) String() string {
 		ErrServiceExists:    "SERVICE_EXISTS",
 		ErrServiceNotFound:  "SERVICE_DOES_NOT_EXIST",
 		ErrWindowNotFound:   "INVALID_WINDOW_HANDLE",
+		ErrHostNotFound:     "WSAHOST_NOT_FOUND",
+		ErrConnRefused:      "WSAECONNREFUSED",
 	}
 	if n, ok := names[e]; ok {
 		return fmt.Sprintf("%d (%s)", uint32(e), n)

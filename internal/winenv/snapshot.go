@@ -12,10 +12,12 @@ package winenv
 // Snapshots nest: Reset rewinds to the most recent (innermost) open
 // snapshot only, and Close releases it. Journaling covers the resource
 // namespaces, the handle table, sockets, flows, events, hooks added
-// after capture, and the scalar registers (identity, last-error, tick,
-// next handle). It does NOT cover test-configuration state mutated in
-// place — network DNS/blackhole tables, hook truncation after
-// ClearHooks — which experiment code changes only between runs.
+// after capture, the network's DNS/blackhole/registration tables and
+// resolve hooks, the attached responder's dialogue state (via
+// Responder.Mark/Rewind), and the scalar registers (identity,
+// last-error, tick, next handle). It does NOT cover test-configuration
+// state mutated in place — hook truncation after ClearHooks, responder
+// attachment itself — which experiment code changes only between runs.
 type Snapshot struct {
 	env *Env
 
@@ -30,12 +32,17 @@ type Snapshot struct {
 	hadNet        bool
 	netNextSocket Handle
 	netFlows      int
+	netHooks      int
+	respMark      any
+	hadResponder  bool
 
 	// resources maps first-touched namespace keys to their prior value
-	// (nil = absent at capture). handles and sockets journal likewise.
-	resources map[resKey]*Resource
-	handles   map[Handle]*openHandle
-	sockets   map[Handle]sockPrior
+	// (nil = absent at capture). handles, sockets, and netEntries
+	// journal likewise.
+	resources  map[resKey]*Resource
+	handles    map[Handle]*openHandle
+	sockets    map[Handle]sockPrior
+	netEntries map[netEntryKey]netEntryPrior
 }
 
 // resKey addresses one resource in its canonical spelling.
@@ -47,6 +54,28 @@ type resKey struct {
 // sockPrior is a socket's prior binding.
 type sockPrior struct {
 	target  string
+	present bool
+}
+
+// netTable identifies one of the network's journaled tables.
+type netTable int
+
+const (
+	netDNS netTable = iota
+	netBlackhole
+	netRegistered
+)
+
+// netEntryKey addresses one entry in one network table.
+type netEntryKey struct {
+	table netTable
+	key   string
+}
+
+// netEntryPrior is a network table entry's prior state (value is the
+// DNS address; blackhole/registered entries only use present).
+type netEntryPrior struct {
+	value   string
 	present bool
 }
 
@@ -69,7 +98,13 @@ func (e *Env) Snapshot() *Snapshot {
 		s.hadNet = true
 		s.netNextSocket = e.net.nextSocket
 		s.netFlows = len(e.net.flows)
+		s.netHooks = len(e.net.resolveHooks)
 		s.sockets = make(map[Handle]sockPrior)
+		s.netEntries = make(map[netEntryKey]netEntryPrior)
+		if r := e.net.responder; r != nil {
+			s.hadResponder = true
+			s.respMark = r.Mark()
+		}
 	}
 	e.snaps = append(e.snaps, s)
 	return s
@@ -127,9 +162,38 @@ func (e *Env) Reset(s *Snapshot) {
 			}
 		}
 		clear(s.sockets)
+		for k, prior := range s.netEntries {
+			switch k.table {
+			case netDNS:
+				if prior.present {
+					n.dns[k.key] = prior.value
+				} else {
+					delete(n.dns, k.key)
+				}
+			case netBlackhole:
+				if prior.present {
+					n.blackholed[k.key] = true
+				} else {
+					delete(n.blackholed, k.key)
+				}
+			case netRegistered:
+				if prior.present {
+					n.registered[k.key] = true
+				} else {
+					delete(n.registered, k.key)
+				}
+			}
+		}
+		clear(s.netEntries)
 		n.nextSocket = s.netNextSocket
 		if len(n.flows) > s.netFlows {
 			n.flows = n.flows[:s.netFlows:s.netFlows]
+		}
+		if len(n.resolveHooks) > s.netHooks {
+			n.resolveHooks = n.resolveHooks[:s.netHooks]
+		}
+		if s.hadResponder && n.responder != nil {
+			n.responder.Rewind(s.respMark)
 		}
 	}
 }
@@ -204,5 +268,30 @@ func (e *Env) noteSocket(h Handle) {
 		}
 		target, present := e.net.sockets[h]
 		s.sockets[h] = sockPrior{target: target, present: present}
+	}
+}
+
+// noteNetEntry journals a DNS/blackhole/registration entry's prior
+// state before mutation; same discipline as noteSocket.
+func (e *Env) noteNetEntry(table netTable, key string) {
+	for i := len(e.snaps) - 1; i >= 0; i-- {
+		s := e.snaps[i]
+		if !s.hadNet {
+			continue
+		}
+		k := netEntryKey{table, key}
+		if _, seen := s.netEntries[k]; seen {
+			break
+		}
+		var prior netEntryPrior
+		switch table {
+		case netDNS:
+			prior.value, prior.present = e.net.dns[key]
+		case netBlackhole:
+			prior.present = e.net.blackholed[key]
+		case netRegistered:
+			prior.present = e.net.registered[key]
+		}
+		s.netEntries[k] = prior
 	}
 }
