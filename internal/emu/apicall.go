@@ -75,6 +75,11 @@ func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
 	if hasSource {
 		srcID = c.table.Reserve()
 		src = taint.Of(srcID)
+		// Taint now exists somewhere in the machine: retire the
+		// all-untainted compiled fast path for the rest of the run.
+		// (Sources are the only way taint enters; propagation and
+		// clearing never create labels.)
+		c.liveTaint = true
 	}
 
 	// Dispatch, or force the result when a mutation matches.

@@ -1,0 +1,819 @@
+package emu
+
+import (
+	"fmt"
+
+	"autovac/internal/isa"
+	"autovac/internal/taint"
+	"autovac/internal/trace"
+)
+
+// Tier-2 execution: at predecode time the basic-block partition
+// (isa.Program.BlockSpans — the same leader rule static.BuildCFG uses)
+// carves each program into straight-line runs, and every run is fused
+// into a slice of per-instruction closures executed back-to-back with no
+// opcode or operand-kind dispatch. Each run is compiled twice:
+//
+//   - a taint-aware variant that matches step() exactly (taint unions,
+//     tainted-predicate recording, the xor-clear idiom);
+//   - an all-untainted fast variant used while the CPU has never
+//     allocated a taint source (CPU.liveTaint). Taint enters the system
+//     only through CALLAPI source allocation, and runs never contain a
+//     CALLAPI, so the invariant cannot break mid-run.
+//
+// Execution bails back to the tier-1 step-wise loop whenever fidelity
+// needs it: step recording (per-step access logs), forced execution
+// (branch inversion), an API call boundary (runs are split at every
+// CALLAPI), a run that does not fit the remaining step budget, or
+// Options.DisableBlocks. The two tiers are byte-identical — pinned by
+// the trace-parity tests here and the corpus golden hash in core.
+
+// opFn executes one fused instruction. Straight-line instructions leave
+// c.pc stale (the run sets it on exit); control transfers set c.pc
+// themselves.
+type opFn func(c *CPU) error
+
+// compiledRun is one CALLAPI-free straight-line run of a basic block,
+// fused into direct-threaded closure slices.
+type compiledRun struct {
+	// n is the number of fused instructions (StepCount charge).
+	n int
+	// slow is the taint-aware body; fast assumes a taint-free machine.
+	slow, fast []opFn
+	// fall is the pc execution continues at when the last instruction
+	// is not a control transfer; -1 when the last opFn sets c.pc.
+	fall int
+}
+
+// runCompiled executes one fused run. StepCount is charged up front and
+// corrected on the (cold) fault path so the count matches step-wise
+// execution exactly: the faulting instruction is counted, the rest of
+// the run is not.
+func (c *CPU) runCompiled(r *compiledRun) error {
+	fns := r.slow
+	if !c.liveTaint {
+		fns = r.fast
+	}
+	c.tr.StepCount += r.n
+	for i, f := range fns {
+		if err := f(c); err != nil {
+			c.tr.StepCount -= r.n - (i + 1)
+			return err
+		}
+	}
+	if r.fall >= 0 {
+		c.pc = r.fall
+	}
+	return nil
+}
+
+// compileRuns builds the per-pc table of compiled runs: an entry at
+// every run start (block leader or post-CALLAPI resume point), nil
+// elsewhere. A nil table (or a nil entry where a run failed to compile)
+// degrades to step-wise execution, never to an error: tier-2 is an
+// optimisation, not a semantics change.
+func compileRuns(p *isa.Program, d *decoded) []*compiledRun {
+	spans := p.BlockSpans() // predecode already validated p
+	runs := make([]*compiledRun, len(d.instrs))
+	for _, sp := range spans {
+		start := sp.Start
+		for pc := sp.Start; pc < sp.End; pc++ {
+			if d.instrs[pc].op == isa.CALLAPI {
+				if pc > start {
+					runs[start] = compileRun(d, start, pc)
+				}
+				start = pc + 1
+			}
+		}
+		if sp.End > start {
+			runs[start] = compileRun(d, start, sp.End)
+		}
+	}
+	return runs
+}
+
+// compileRun fuses instructions [start, end) into one run, or returns
+// nil if any instruction is outside the compilable set.
+func compileRun(d *decoded, start, end int) *compiledRun {
+	r := &compiledRun{n: end - start, fall: end}
+	for pc := start; pc < end; pc++ {
+		slow, fast, setsPC := compileInstr(&d.instrs[pc], pc)
+		if slow == nil || fast == nil {
+			return nil
+		}
+		r.slow = append(r.slow, slow)
+		r.fast = append(r.fast, fast)
+		if setsPC {
+			r.fall = -1
+		}
+	}
+	return r
+}
+
+// compileInstr builds the two closure variants of one instruction.
+// setsPC reports that the closures assign c.pc (control transfers,
+// always the run's last instruction). A nil return marks the
+// instruction uncompilable.
+func compileInstr(in *dInstr, pc int) (slow, fast opFn, setsPC bool) {
+	switch in.op {
+	case isa.NOP:
+		f := func(*CPU) error { return nil }
+		return f, f, false
+
+	case isa.MOV:
+		return compileMov(in)
+
+	case isa.MOVB:
+		return compileMovb(in)
+
+	case isa.LEA:
+		return compileLea(in)
+
+	case isa.PUSH:
+		ld, ldf := loadSlow(in.dst), loadFast(in.dst)
+		if ld == nil || ldf == nil {
+			return nil, nil, false
+		}
+		slow = func(c *CPU) error {
+			v, t, err := ld(c)
+			if err != nil {
+				return err
+			}
+			return c.push(v, t)
+		}
+		fast = func(c *CPU) error {
+			v, err := ldf(c)
+			if err != nil {
+				return err
+			}
+			return c.push(v, taint.Set{})
+		}
+		return slow, fast, false
+
+	case isa.POP:
+		st, stf := storeSlow(in.dst), storeFast(in.dst)
+		if st == nil || stf == nil {
+			return nil, nil, false
+		}
+		slow = func(c *CPU) error {
+			v, t, err := c.pop()
+			if err != nil {
+				return err
+			}
+			return st(c, v, t)
+		}
+		fast = func(c *CPU) error {
+			v, _, err := c.pop()
+			if err != nil {
+				return err
+			}
+			return stf(c, v)
+		}
+		return slow, fast, false
+
+	case isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR, isa.SHL, isa.SHR:
+		return compileALU(in)
+
+	case isa.INC, isa.DEC:
+		return compileIncDec(in)
+
+	case isa.CMP, isa.TEST:
+		return compileCmpTest(in, pc)
+
+	case isa.JMP:
+		target := in.target
+		f := func(c *CPU) error { c.pc = target; return nil }
+		return f, f, true
+
+	case isa.JZ, isa.JNZ, isa.JL, isa.JGE:
+		f := compileJcc(in.op, in.target, pc+1)
+		return f, f, true
+
+	case isa.CALL:
+		target := in.target
+		ret := pc + 1
+		f := func(c *CPU) error {
+			if err := c.push(uint32(ret), taint.Set{}); err != nil {
+				return err
+			}
+			c.callStack = append(c.callStack, ret)
+			c.pc = target
+			return nil
+		}
+		return f, f, true
+
+	case isa.RET:
+		f := func(c *CPU) error {
+			v, _, err := c.pop()
+			if err != nil {
+				return err
+			}
+			if len(c.callStack) == 0 {
+				return fmt.Errorf("emu: ret with empty call stack at pc %d", pc)
+			}
+			c.callStack = c.callStack[:len(c.callStack)-1]
+			c.pc = int(v)
+			return nil
+		}
+		return f, f, true
+
+	case isa.HALT:
+		next := pc + 1
+		f := func(c *CPU) error {
+			c.done = true
+			c.exitKind = trace.ExitHalt
+			c.pc = next
+			return nil
+		}
+		return f, f, true
+
+	default:
+		// CALLAPI never reaches here (runs are split around it);
+		// anything else is unknown and stays step-wise.
+		return nil, nil, false
+	}
+}
+
+// compileMov fuses MOV, with direct register/immediate specialisations
+// on the fast path (the shape stalling loops are made of).
+func compileMov(in *dInstr) (slow, fast opFn, setsPC bool) {
+	ld, ldf := loadSlow(in.src), loadFast(in.src)
+	st, stf := storeSlow(in.dst), storeFast(in.dst)
+	if ld == nil || ldf == nil || st == nil || stf == nil {
+		return nil, nil, false
+	}
+	slow = func(c *CPU) error {
+		v, t, err := ld(c)
+		if err != nil {
+			return err
+		}
+		return st(c, v, t)
+	}
+	if in.dst.kind == isa.KindReg {
+		dst := in.dst.reg
+		switch in.src.kind {
+		case isa.KindImm:
+			v := in.src.val
+			return slow, func(c *CPU) error { c.reg[dst] = v; return nil }, false
+		case isa.KindReg:
+			src := in.src.reg
+			return slow, func(c *CPU) error { c.reg[dst] = c.reg[src]; return nil }, false
+		}
+	}
+	fast = func(c *CPU) error {
+		v, err := ldf(c)
+		if err != nil {
+			return err
+		}
+		return stf(c, v)
+	}
+	return slow, fast, false
+}
+
+// compileMovb fuses the 8-bit move.
+func compileMovb(in *dInstr) (slow, fast opFn, setsPC bool) {
+	ld, ldf := loadByteSlow(in.src), loadByteFast(in.src)
+	st, stf := storeByteSlow(in.dst), storeByteFast(in.dst)
+	if ld == nil || ldf == nil || st == nil || stf == nil {
+		return nil, nil, false
+	}
+	slow = func(c *CPU) error {
+		v, t, err := ld(c)
+		if err != nil {
+			return err
+		}
+		return st(c, v, t)
+	}
+	fast = func(c *CPU) error {
+		v, err := ldf(c)
+		if err != nil {
+			return err
+		}
+		return stf(c, v)
+	}
+	return slow, fast, false
+}
+
+// compileLea fuses LEA: the address (and the base register's taint,
+// matching effectiveAddr) flows into the destination.
+func compileLea(in *dInstr) (slow, fast opFn, setsPC bool) {
+	if in.src.kind != isa.KindMem {
+		return nil, nil, false
+	}
+	st, stf := storeSlow(in.dst), storeFast(in.dst)
+	if st == nil || stf == nil {
+		return nil, nil, false
+	}
+	disp := in.src.val
+	if !in.src.hasBase {
+		slow = func(c *CPU) error { return st(c, disp, taint.Set{}) }
+		fast = func(c *CPU) error { return stf(c, disp) }
+		return slow, fast, false
+	}
+	base := in.src.reg
+	slow = func(c *CPU) error {
+		return st(c, disp+c.reg[base], c.regTaint[base])
+	}
+	fast = func(c *CPU) error { return stf(c, disp+c.reg[base]) }
+	return slow, fast, false
+}
+
+// aluFunc returns the arithmetic of one ALU opcode.
+func aluFunc(op isa.Opcode) func(a, b uint32) uint32 {
+	switch op {
+	case isa.ADD:
+		return func(a, b uint32) uint32 { return a + b }
+	case isa.SUB:
+		return func(a, b uint32) uint32 { return a - b }
+	case isa.XOR:
+		return func(a, b uint32) uint32 { return a ^ b }
+	case isa.AND:
+		return func(a, b uint32) uint32 { return a & b }
+	case isa.OR:
+		return func(a, b uint32) uint32 { return a | b }
+	case isa.SHL:
+		return func(a, b uint32) uint32 { return a << (b & 31) }
+	case isa.SHR:
+		return func(a, b uint32) uint32 { return a >> (b & 31) }
+	}
+	return nil
+}
+
+// setFlagsRaw updates ZF/SF without the (no-op outside RecordSteps)
+// trace note — compiled runs never record steps.
+func (c *CPU) setFlagsRaw(v uint32, t taint.Set) {
+	c.zf = v == 0
+	c.sf = int32(v) < 0
+	c.flagsTaint = t
+}
+
+// compileALU fuses the two-operand ALU ops, including the predecoded
+// x-xor-x taint-clear idiom, with register/immediate fast-path
+// specialisations.
+func compileALU(in *dInstr) (slow, fast opFn, setsPC bool) {
+	alu := aluFunc(in.op)
+	ldd, lddf := loadSlow(in.dst), loadFast(in.dst)
+	lds, ldsf := loadSlow(in.src), loadFast(in.src)
+	st, stf := storeSlow(in.dst), storeFast(in.dst)
+	if alu == nil || ldd == nil || lddf == nil || lds == nil || ldsf == nil || st == nil || stf == nil {
+		return nil, nil, false
+	}
+	clears := in.clearsTaint
+	slow = func(c *CPU) error {
+		a, ta, err := ldd(c)
+		if err != nil {
+			return err
+		}
+		b, tb, err := lds(c)
+		if err != nil {
+			return err
+		}
+		v := alu(a, b)
+		t := ta.Union(tb)
+		if clears {
+			t = taint.Set{}
+		}
+		if err := st(c, v, t); err != nil {
+			return err
+		}
+		c.setFlagsRaw(v, t)
+		return nil
+	}
+	if in.dst.kind == isa.KindReg {
+		dst := in.dst.reg
+		switch in.src.kind {
+		case isa.KindImm:
+			imm := in.src.val
+			return slow, func(c *CPU) error {
+				v := alu(c.reg[dst], imm)
+				c.reg[dst] = v
+				c.zf = v == 0
+				c.sf = int32(v) < 0
+				return nil
+			}, false
+		case isa.KindReg:
+			src := in.src.reg
+			return slow, func(c *CPU) error {
+				v := alu(c.reg[dst], c.reg[src])
+				c.reg[dst] = v
+				c.zf = v == 0
+				c.sf = int32(v) < 0
+				return nil
+			}, false
+		}
+	}
+	fast = func(c *CPU) error {
+		a, err := lddf(c)
+		if err != nil {
+			return err
+		}
+		b, err := ldsf(c)
+		if err != nil {
+			return err
+		}
+		v := alu(a, b)
+		if err := stf(c, v); err != nil {
+			return err
+		}
+		c.zf = v == 0
+		c.sf = int32(v) < 0
+		return nil
+	}
+	return slow, fast, false
+}
+
+// compileIncDec fuses INC/DEC.
+func compileIncDec(in *dInstr) (slow, fast opFn, setsPC bool) {
+	var delta uint32 = 1
+	if in.op == isa.DEC {
+		delta = ^uint32(0) // -1
+	}
+	ld, ldf := loadSlow(in.dst), loadFast(in.dst)
+	st, stf := storeSlow(in.dst), storeFast(in.dst)
+	if ld == nil || ldf == nil || st == nil || stf == nil {
+		return nil, nil, false
+	}
+	slow = func(c *CPU) error {
+		a, ta, err := ld(c)
+		if err != nil {
+			return err
+		}
+		v := a + delta
+		if err := st(c, v, ta); err != nil {
+			return err
+		}
+		c.setFlagsRaw(v, ta)
+		return nil
+	}
+	if in.dst.kind == isa.KindReg {
+		r := in.dst.reg
+		return slow, func(c *CPU) error {
+			v := c.reg[r] + delta
+			c.reg[r] = v
+			c.zf = v == 0
+			c.sf = int32(v) < 0
+			return nil
+		}, false
+	}
+	fast = func(c *CPU) error {
+		a, err := ldf(c)
+		if err != nil {
+			return err
+		}
+		v := a + delta
+		if err := stf(c, v); err != nil {
+			return err
+		}
+		c.zf = v == 0
+		c.sf = int32(v) < 0
+		return nil
+	}
+	return slow, fast, false
+}
+
+// compileCmpTest fuses CMP/TEST, preserving Phase-I's tainted-predicate
+// recording on the taint-aware path. The fast path cannot see a tainted
+// predicate by construction (no taint source exists yet).
+func compileCmpTest(in *dInstr, pc int) (slow, fast opFn, setsPC bool) {
+	isCmp := in.op == isa.CMP
+	ldd, lddf := loadSlow(in.dst), loadFast(in.dst)
+	lds, ldsf := loadSlow(in.src), loadFast(in.src)
+	if ldd == nil || lddf == nil || lds == nil || ldsf == nil {
+		return nil, nil, false
+	}
+	slow = func(c *CPU) error {
+		a, ta, err := ldd(c)
+		if err != nil {
+			return err
+		}
+		b, tb, err := lds(c)
+		if err != nil {
+			return err
+		}
+		var v uint32
+		if isCmp {
+			v = a - b
+		} else {
+			v = a & b
+		}
+		t := ta.Union(tb)
+		c.setFlagsRaw(v, t)
+		if !t.Empty() {
+			c.tr.Predicates = append(c.tr.Predicates, trace.PredicateHit{
+				PC: pc, Sources: t.Sources(),
+			})
+		}
+		return nil
+	}
+	if in.dst.kind == isa.KindReg {
+		dst := in.dst.reg
+		switch in.src.kind {
+		case isa.KindImm:
+			imm := in.src.val
+			return slow, func(c *CPU) error {
+				var v uint32
+				if isCmp {
+					v = c.reg[dst] - imm
+				} else {
+					v = c.reg[dst] & imm
+				}
+				c.zf = v == 0
+				c.sf = int32(v) < 0
+				return nil
+			}, false
+		case isa.KindReg:
+			src := in.src.reg
+			return slow, func(c *CPU) error {
+				var v uint32
+				if isCmp {
+					v = c.reg[dst] - c.reg[src]
+				} else {
+					v = c.reg[dst] & c.reg[src]
+				}
+				c.zf = v == 0
+				c.sf = int32(v) < 0
+				return nil
+			}, false
+		}
+	}
+	fast = func(c *CPU) error {
+		a, err := lddf(c)
+		if err != nil {
+			return err
+		}
+		b, err := ldsf(c)
+		if err != nil {
+			return err
+		}
+		var v uint32
+		if isCmp {
+			v = a - b
+		} else {
+			v = a & b
+		}
+		c.zf = v == 0
+		c.sf = int32(v) < 0
+		return nil
+	}
+	return slow, fast, false
+}
+
+// compileJcc builds a conditional-jump closure (taint-independent, so
+// one closure serves both variants).
+func compileJcc(op isa.Opcode, target, fall int) opFn {
+	switch op {
+	case isa.JZ:
+		return func(c *CPU) error {
+			if c.zf {
+				c.pc = target
+			} else {
+				c.pc = fall
+			}
+			return nil
+		}
+	case isa.JNZ:
+		return func(c *CPU) error {
+			if c.zf {
+				c.pc = fall
+			} else {
+				c.pc = target
+			}
+			return nil
+		}
+	case isa.JL:
+		return func(c *CPU) error {
+			if c.sf {
+				c.pc = target
+			} else {
+				c.pc = fall
+			}
+			return nil
+		}
+	default: // JGE
+		return func(c *CPU) error {
+			if c.sf {
+				c.pc = fall
+			} else {
+				c.pc = target
+			}
+			return nil
+		}
+	}
+}
+
+// loadSlow compiles a 32-bit operand read with taint — readOperand
+// minus the (RecordSteps-only) access notes, which compiled runs never
+// need.
+func loadSlow(o dOperand) func(c *CPU) (uint32, taint.Set, error) {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU) (uint32, taint.Set, error) {
+			return c.reg[r], c.regTaint[r], nil
+		}
+	case isa.KindImm:
+		v := o.val
+		return func(c *CPU) (uint32, taint.Set, error) {
+			return v, taint.Set{}, nil
+		}
+	case isa.KindMem:
+		disp := o.val
+		if !o.hasBase {
+			return func(c *CPU) (uint32, taint.Set, error) {
+				return c.mem.readWord(disp)
+			}
+		}
+		base := o.reg
+		return func(c *CPU) (uint32, taint.Set, error) {
+			v, t, err := c.mem.readWord(disp + c.reg[base])
+			if err != nil {
+				return 0, taint.Set{}, err
+			}
+			return v, t.Union(c.regTaint[base]), nil
+		}
+	}
+	return nil
+}
+
+// loadFast compiles a 32-bit operand read for the taint-free machine.
+func loadFast(o dOperand) func(c *CPU) (uint32, error) {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU) (uint32, error) { return c.reg[r], nil }
+	case isa.KindImm:
+		v := o.val
+		return func(c *CPU) (uint32, error) { return v, nil }
+	case isa.KindMem:
+		disp := o.val
+		if !o.hasBase {
+			return func(c *CPU) (uint32, error) {
+				v, _, err := c.mem.readWord(disp)
+				return v, err
+			}
+		}
+		base := o.reg
+		return func(c *CPU) (uint32, error) {
+			v, _, err := c.mem.readWord(disp + c.reg[base])
+			return v, err
+		}
+	}
+	return nil
+}
+
+// storeSlow compiles a 32-bit operand write with taint.
+func storeSlow(o dOperand) func(c *CPU, v uint32, t taint.Set) error {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU, v uint32, t taint.Set) error {
+			c.reg[r] = v
+			c.regTaint[r] = t
+			return nil
+		}
+	case isa.KindMem:
+		disp := o.val
+		if !o.hasBase {
+			return func(c *CPU, v uint32, t taint.Set) error {
+				return c.mem.writeWord(disp, v, t)
+			}
+		}
+		base := o.reg
+		return func(c *CPU, v uint32, t taint.Set) error {
+			return c.mem.writeWord(disp+c.reg[base], v, t)
+		}
+	}
+	return nil
+}
+
+// storeFast compiles a 32-bit operand write for the taint-free machine.
+func storeFast(o dOperand) func(c *CPU, v uint32) error {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU, v uint32) error {
+			c.reg[r] = v
+			return nil
+		}
+	case isa.KindMem:
+		disp := o.val
+		if !o.hasBase {
+			return func(c *CPU, v uint32) error {
+				return c.mem.writeWord(disp, v, taint.Set{})
+			}
+		}
+		base := o.reg
+		return func(c *CPU, v uint32) error {
+			return c.mem.writeWord(disp+c.reg[base], v, taint.Set{})
+		}
+	}
+	return nil
+}
+
+// loadByteSlow compiles an 8-bit operand read with taint.
+func loadByteSlow(o dOperand) func(c *CPU) (uint32, taint.Set, error) {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU) (uint32, taint.Set, error) {
+			return c.reg[r] & 0xFF, c.regTaint[r], nil
+		}
+	case isa.KindImm:
+		v := o.val & 0xFF
+		return func(c *CPU) (uint32, taint.Set, error) {
+			return v, taint.Set{}, nil
+		}
+	case isa.KindMem:
+		disp := o.val
+		base, hasBase := o.reg, o.hasBase
+		return func(c *CPU) (uint32, taint.Set, error) {
+			addr := disp
+			var at taint.Set
+			if hasBase {
+				addr += c.reg[base]
+				at = c.regTaint[base]
+			}
+			b, t, err := c.mem.readByte(addr)
+			if err != nil {
+				return 0, taint.Set{}, err
+			}
+			return uint32(b), t.Union(at), nil
+		}
+	}
+	return nil
+}
+
+// loadByteFast compiles an 8-bit operand read for the taint-free
+// machine.
+func loadByteFast(o dOperand) func(c *CPU) (uint32, error) {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU) (uint32, error) { return c.reg[r] & 0xFF, nil }
+	case isa.KindImm:
+		v := o.val & 0xFF
+		return func(c *CPU) (uint32, error) { return v, nil }
+	case isa.KindMem:
+		disp := o.val
+		base, hasBase := o.reg, o.hasBase
+		return func(c *CPU) (uint32, error) {
+			addr := disp
+			if hasBase {
+				addr += c.reg[base]
+			}
+			b, _, err := c.mem.readByte(addr)
+			return uint32(b), err
+		}
+	}
+	return nil
+}
+
+// storeByteSlow compiles an 8-bit operand write with taint. Register
+// byte stores merge taint (writeOperandByte's semantics: the high bytes
+// keep their provenance).
+func storeByteSlow(o dOperand) func(c *CPU, v uint32, t taint.Set) error {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU, v uint32, t taint.Set) error {
+			c.reg[r] = (c.reg[r] &^ 0xFF) | (v & 0xFF)
+			c.regTaint[r] = c.regTaint[r].Union(t)
+			return nil
+		}
+	case isa.KindMem:
+		disp := o.val
+		base, hasBase := o.reg, o.hasBase
+		return func(c *CPU, v uint32, t taint.Set) error {
+			addr := disp
+			if hasBase {
+				addr += c.reg[base]
+			}
+			return c.mem.writeByte(addr, byte(v), t)
+		}
+	}
+	return nil
+}
+
+// storeByteFast compiles an 8-bit operand write for the taint-free
+// machine.
+func storeByteFast(o dOperand) func(c *CPU, v uint32) error {
+	switch o.kind {
+	case isa.KindReg:
+		r := o.reg
+		return func(c *CPU, v uint32) error {
+			c.reg[r] = (c.reg[r] &^ 0xFF) | (v & 0xFF)
+			return nil
+		}
+	case isa.KindMem:
+		disp := o.val
+		base, hasBase := o.reg, o.hasBase
+		return func(c *CPU, v uint32) error {
+			addr := disp
+			if hasBase {
+				addr += c.reg[base]
+			}
+			return c.mem.writeByte(addr, byte(v), taint.Set{})
+		}
+	}
+	return nil
+}

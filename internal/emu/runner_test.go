@@ -96,6 +96,48 @@ func TestRunnerEnvRewound(t *testing.T) {
 	}
 }
 
+// TestRunnerTierParityAcrossRewinds checks block-compiled and step-wise
+// execution stay byte-identical through the Runner's snapshot-rewind
+// cycle, alternating tiers run to run — the environment rewind lands
+// "mid-block" from the compiled table's point of view (the next run
+// re-enters compiled runs from pc 0 against rewound state), and step
+// recording (which bails to tier-1) must see the same machine either
+// way.
+func TestRunnerTierParityAcrossRewinds(t *testing.T) {
+	prog := mutexChecker("!TierRewind")
+	r, err := NewRunner(prog, winenv.New(winenv.DefaultIdentity()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for _, opts := range []Options{
+		{Seed: 7},
+		{Seed: 7, RecordSteps: true},
+	} {
+		name := "plain"
+		if opts.RecordSteps {
+			name = "record-steps"
+		}
+		var ref string
+		// Alternate tiers across rewinds: compiled, step-wise, compiled.
+		for i, disable := range []bool{false, true, false} {
+			o := opts
+			o.DisableBlocks = disable
+			tr, err := r.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j := traceJSON(t, tr)
+			if i == 0 {
+				ref = j
+			} else if j != ref {
+				t.Errorf("%s: run %d (DisableBlocks=%v) diverged from run 0", name, i, disable)
+			}
+		}
+	}
+}
+
 // TestRunnerSteadyStateAllocFree pins the perf contract from the issue:
 // an untainted steady-state step loop through a pooled Runner performs
 // zero allocations per step. The per-run budget covers the handful of

@@ -127,15 +127,26 @@ func (a *Agent) Env() *winenv.Env { return a.cfg.Env }
 // Host returns the agent's check-in identifier.
 func (a *Agent) Host() string { return a.cfg.Host }
 
-// backoff sleeps before retry attempt n (0-based) with exponential
-// growth and ±50% jitter, honouring context cancellation.
-func (a *Agent) backoff(ctx context.Context, n int) error {
+// backoffDelay computes the sleep before retry attempt n (0-based):
+// exponential growth with ±50% jitter, clamped to MaxBackoff. The
+// clamp applies to the jittered value, not just the exponential base —
+// otherwise an attempt at the cap could draw up to 1.5×MaxBackoff.
+func (a *Agent) backoffDelay(n int) time.Duration {
 	d := a.cfg.BaseBackoff << uint(n)
 	if d > a.cfg.MaxBackoff || d <= 0 {
 		d = a.cfg.MaxBackoff
 	}
 	d = d/2 + time.Duration(a.rng.Int63n(int64(d)))
-	t := time.NewTimer(d)
+	if d > a.cfg.MaxBackoff {
+		d = a.cfg.MaxBackoff
+	}
+	return d
+}
+
+// backoff sleeps before retry attempt n (0-based), honouring context
+// cancellation.
+func (a *Agent) backoff(ctx context.Context, n int) error {
+	t := time.NewTimer(a.backoffDelay(n))
 	defer t.Stop()
 	select {
 	case <-ctx.Done():

@@ -237,3 +237,43 @@ func TestAgentRunStopsOnCancel(t *testing.T) {
 		t.Fatalf("run completed only %d syncs", st.Syncs)
 	}
 }
+
+// TestAgentBackoffBounded pins the backoff envelope: every retry delay
+// stays within [BaseBackoff/2, MaxBackoff], including attempts whose
+// exponential base has already saturated at the cap. Before the
+// post-jitter clamp, a saturated attempt could draw MaxBackoff/2 +
+// jitter(MaxBackoff) — up to 1.5× the configured ceiling.
+func TestAgentBackoffBounded(t *testing.T) {
+	cases := []struct {
+		name string
+		base time.Duration
+		max  time.Duration
+	}{
+		{"defaults", DefaultBaseBackoff, DefaultMaxBackoff},
+		{"tight-cap", 25 * time.Millisecond, 40 * time.Millisecond},
+		{"cap-equals-base", 10 * time.Millisecond, 10 * time.Millisecond},
+		{"wide", time.Millisecond, time.Minute},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAgent(AgentConfig{
+				Host:        "BACKOFF-PC",
+				Seed:        99,
+				BaseBackoff: tc.base,
+				MaxBackoff:  tc.max,
+			})
+			// Attempt numbers past saturation and past shift overflow.
+			for _, n := range []int{0, 1, 2, 3, 8, 16, 40, 63} {
+				for draw := 0; draw < 200; draw++ {
+					d := a.backoffDelay(n)
+					if d > tc.max {
+						t.Fatalf("attempt %d: delay %v exceeds MaxBackoff %v", n, d, tc.max)
+					}
+					if d < tc.base/2 {
+						t.Fatalf("attempt %d: delay %v below BaseBackoff/2 %v", n, d, tc.base/2)
+					}
+				}
+			}
+		})
+	}
+}

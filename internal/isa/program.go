@@ -66,6 +66,55 @@ func (p *Program) Labels() map[string]int {
 	return p.labels
 }
 
+// Span is one basic-block instruction range [Start, End): a maximal
+// straight-line run entered only at Start.
+type Span struct {
+	Start, End int
+}
+
+// BlockSpans computes the program's basic-block partition. Leaders are
+// the entry, every jump/call target, every labelled instruction, and
+// every instruction after a control transfer (jump, call, ret, halt) —
+// so fallthrough-into-label and dead-code-after-jump both start fresh
+// blocks. This is the single leader rule shared by the static CFG
+// (static.BuildCFG) and the emulator's block compiler; the program is
+// not validated here (unresolved jump targets are simply not leaders).
+func (p *Program) BlockSpans() []Span {
+	n := len(p.Instrs)
+	if n == 0 {
+		return nil
+	}
+	labels := p.Labels()
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range p.Instrs {
+		switch {
+		case in.Op.IsJump() || in.Op == CALL:
+			if t, ok := labels[in.Target]; ok {
+				leader[t] = true
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.Op == RET || in.Op == HALT:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+		if in.Label != "" {
+			leader[i] = true
+		}
+	}
+	var spans []Span
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			spans = append(spans, Span{Start: i})
+		}
+		spans[len(spans)-1].End = i + 1
+	}
+	return spans
+}
+
 // FindData returns the named data item, or nil.
 func (p *Program) FindData(name string) *DataItem {
 	for i := range p.Data {

@@ -67,6 +67,11 @@ type CFG struct {
 // The program must validate (callers holding a Builder-built Program
 // already do); an invalid program returns an error rather than a
 // malformed graph.
+//
+// The partition itself comes from isa.Program.BlockSpans — the single
+// leader rule shared with the emulator's block compiler
+// (internal/emu/compile.go), so the two views of "basic block" cannot
+// drift: a span there is a Block here.
 func BuildCFG(p *isa.Program) (*CFG, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("static: %w", err)
@@ -77,47 +82,20 @@ func BuildCFG(p *isa.Program) (*CFG, error) {
 	}
 	labels := p.Labels()
 
-	// Leaders: entry, every jump/call target, and every instruction
-	// after a control transfer (so fallthrough-into-label and
-	// dead-code-after-jump both start fresh blocks).
-	leader := make([]bool, n)
-	leader[0] = true
 	// Return points of every CALL, reused for RET edges.
 	var callReturns []int
 	for i, in := range p.Instrs {
-		switch {
-		case in.Op.IsJump() || in.Op == isa.CALL:
-			if t, ok := labels[in.Target]; ok {
-				leader[t] = true
-			}
-			if i+1 < n {
-				leader[i+1] = true
-			}
-			if in.Op == isa.CALL && i+1 < n {
-				callReturns = append(callReturns, i+1)
-			}
-		case in.Op == isa.RET || in.Op == isa.HALT:
-			if i+1 < n {
-				leader[i+1] = true
-			}
-		}
-		if in.Label != "" {
-			leader[i] = true
+		if in.Op == isa.CALL && i+1 < n {
+			callReturns = append(callReturns, i+1)
 		}
 	}
 
 	cfg := &CFG{Prog: p, BlockOf: make([]int, n)}
-	for i := 0; i < n; i++ {
-		if leader[i] {
-			cfg.Blocks = append(cfg.Blocks, &Block{ID: len(cfg.Blocks), Start: i})
-		}
-		cfg.BlockOf[i] = len(cfg.Blocks) - 1
-	}
-	for _, b := range cfg.Blocks {
-		if b.ID+1 < len(cfg.Blocks) {
-			b.End = cfg.Blocks[b.ID+1].Start
-		} else {
-			b.End = n
+	for _, sp := range p.BlockSpans() {
+		b := &Block{ID: len(cfg.Blocks), Start: sp.Start, End: sp.End}
+		cfg.Blocks = append(cfg.Blocks, b)
+		for i := sp.Start; i < sp.End; i++ {
+			cfg.BlockOf[i] = b.ID
 		}
 	}
 

@@ -181,9 +181,26 @@ func (n *Network) FlowsDropped() int { return n.flowsDropped }
 // ResetFlows clears the flow log.
 func (n *Network) ResetFlows() { n.flows = nil }
 
+// trimFlows drops the oldest entries so the log holds at most
+// MaxFlows/2, accounting the discards in flowsDropped. Callers must
+// ensure no snapshot is open (open snapshots hold rewind indexes into
+// the log); Snapshot.Close invokes it when the outermost snapshot
+// closes, so deferred growth is reclaimed instead of persisting.
+func (n *Network) trimFlows() {
+	if len(n.flows) <= MaxFlows {
+		return
+	}
+	keep := MaxFlows / 2
+	trimmed := make([]Flow, keep, MaxFlows)
+	copy(trimmed, n.flows[len(n.flows)-keep:])
+	n.flowsDropped += len(n.flows) - keep
+	n.flows = trimmed
+}
+
 // record appends a flow entry, trimming the oldest half once the log
 // exceeds MaxFlows (only while no snapshot is open: open snapshots hold
-// rewind indexes into the log).
+// rewind indexes into the log; the deferred trim happens when the
+// outermost snapshot closes).
 func (n *Network) record(principal, verb, target string, bytes int, ok bool) {
 	n.env.tick++
 	if len(n.flows) >= MaxFlows && len(n.env.snaps) == 0 {

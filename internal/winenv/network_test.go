@@ -249,6 +249,47 @@ func TestFlowCapDeferredUnderSnapshot(t *testing.T) {
 	}
 }
 
+func TestFlowCapReclaimedOnSnapshotClose(t *testing.T) {
+	// The cap is deferred while snapshots are open, but the deferral
+	// must not be permanent: closing the outermost snapshot without a
+	// rewind (the "keep this run's state" path) reclaims the growth.
+	e := New(DefaultIdentity())
+	n := e.Net()
+	outer := e.Snapshot()
+	inner := e.Snapshot()
+	total := 2*MaxFlows + 100
+	for i := 0; i < total; i++ {
+		n.Resolve("mal.exe", "cc.example.com")
+	}
+	inner.Close()
+	// An inner close must not trim: the outer snapshot still holds a
+	// rewind index into the log.
+	if len(n.Flows()) != total {
+		t.Fatalf("inner close trimmed flows under an open outer snapshot: %d", len(n.Flows()))
+	}
+	outer.Close()
+	if got := len(n.Flows()); got > MaxFlows {
+		t.Fatalf("flows unbounded after outermost close: %d > %d", got, MaxFlows)
+	}
+	keep := MaxFlows / 2
+	if got := len(n.Flows()); got != keep {
+		t.Fatalf("retained %d flows after close, want %d", got, keep)
+	}
+	if got, want := n.FlowsDropped(), total-keep; got != want {
+		t.Fatalf("FlowsDropped = %d, want %d", got, want)
+	}
+	// The retained tail is the newest entries, still in order.
+	flows := n.Flows()
+	for i := 1; i < len(flows); i++ {
+		if flows[i].Tick <= flows[i-1].Tick {
+			t.Fatal("retained flows out of order")
+		}
+	}
+	if last := flows[len(flows)-1].Tick; last != uint64(total) {
+		t.Fatalf("last retained tick = %d, want %d", last, total)
+	}
+}
+
 func TestSnapshotRewindsNetworkTables(t *testing.T) {
 	e := New(DefaultIdentity())
 	n := e.Net()

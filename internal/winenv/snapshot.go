@@ -216,6 +216,12 @@ func (s *Snapshot) Close() {
 		return // already closed
 	}
 	e.snaps = e.snaps[:len(e.snaps)-1]
+	if len(e.snaps) == 0 && e.net != nil {
+		// The flow cap is deferred while snapshots are open (they hold
+		// rewind indexes into the log); reclaim the growth now that the
+		// outermost snapshot is gone.
+		e.net.trimFlows()
+	}
 }
 
 // noteResource journals a resource's prior value into every open
