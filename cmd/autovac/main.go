@@ -57,6 +57,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 0, "bound the whole corpus run (0 = none); completed results are still emitted")
 		maxErrors = fs.Int("max-errors", 0, "stop dispatching new samples after this many failures (0 = analyse everything)")
 		prefilter = fs.Bool("static-prefilter", false, "skip Phase-I emulation of samples the static taint analysis proves candidate-free")
+		triage    = fs.Bool("static-triage", false, "Phase-0: skip emulation of samples whose statically recovered API surface holds no resource API")
+		hashN     = fs.Int("hash-corpus", 0, "append this many hash-resolving samples per band to a -corpus run (exercises -static-triage)")
 		verbose   = fs.Bool("v", false, "print per-candidate detail")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +108,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *hashN > 0 {
+			hr, err := gen.HashResolveCorpus(*hashN)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, hr...)
+		}
 	}
 
 	// The fault-isolated corpus run: per-sample panic containment,
@@ -114,6 +123,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Workers:         *workers,
 		MaxErrors:       *maxErrors,
 		StaticPrefilter: *prefilter,
+		StaticTriage:    *triage,
 	})
 
 	pack := &vaccine.Pack{Generator: "autovac-go/1.0"}
@@ -148,6 +158,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "samples analysed:  %d/%d\n", stats.Analyzed, len(samples))
+	if *triage {
+		fmt.Fprintf(out, "triage skipped:    %d (Phase-0: no resource API in the recovered surface)\n", stats.TriageSkipped)
+	}
 	if *prefilter {
 		fmt.Fprintf(out, "statically filtered: %d (Phase-I emulation skipped)\n", stats.StaticallyFiltered)
 	}

@@ -125,3 +125,33 @@ func TestParseFamilyAliases(t *testing.T) {
 		}
 	}
 }
+
+// TestRunStaticTriage exercises the Phase-0 flags together: a corpus
+// extended with hash-resolving bands, triage on, pack written. Exactly
+// the hashtick band (one per -hash-corpus unit) is provably
+// resource-free, and the skip count must reach both the summary and
+// the pack's embedded analysis stats.
+func TestRunStaticTriage(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "triaged.json")
+	var buf bytes.Buffer
+	err := run(context.Background(),
+		[]string{"-corpus", "8", "-hash-corpus", "2", "-static-triage", "-seed", "9", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "triage skipped:    2") {
+		t.Errorf("summary missing the triage count:\n%s", buf.String())
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	pack, err := vaccine.ReadPack(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pack.Analysis == nil || pack.Analysis.TriageSkipped != 2 {
+		t.Errorf("pack analysis stats lost the triage count: %+v", pack.Analysis)
+	}
+}

@@ -42,6 +42,7 @@ func run(args []string) error {
 		evade  = fs.Bool("evasion", false, "run the §VII evasion/limitation experiments")
 		ablate = fs.Bool("ablation", false, "run the design-choice ablation study")
 		prefil = fs.Bool("prefilter", false, "run the static pre-filter study (prefilter on vs off)")
+		triage = fs.Bool("triage", false, "run the Phase-0 triage study (static API-surface recovery on vs off)")
 		epidem = fs.Bool("epidemic", false, "run the killswitch-worm vs vaccine-sync epidemic race")
 		all    = fs.Bool("all", false, "regenerate everything")
 		bdrCap = fs.Int("bdrcap", 10, "max vaccines measured per effect class for Figure 4")
@@ -56,7 +57,7 @@ func run(args []string) error {
 		// setup the report paths need.
 		return runBench(*bout)
 	}
-	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil && !*epidem {
+	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil && !*triage && !*epidem {
 		*all = true
 	}
 	if *epidem && !*all {
@@ -208,6 +209,20 @@ func run(args []string) error {
 			partial = append(partial, err)
 		} else {
 			fmt.Println(experiment.RenderPrefilter(st))
+		}
+	}
+	if *all || *triage {
+		// Per-band size scales with the corpus so a reduced -n run stays
+		// quick while paper scale gets a meaningful skippable population.
+		perBand := *n / 64
+		if perBand < 4 {
+			perBand = 4
+		}
+		st, err := setup.Triage(context.Background(), perBand)
+		if err != nil {
+			partial = append(partial, err)
+		} else {
+			fmt.Println(experiment.RenderTriage(st))
 		}
 	}
 	if *ablate {

@@ -58,3 +58,9 @@ func TestTable1Flag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTriageFlag(t *testing.T) {
+	if err := run([]string{"-triage", "-n", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}

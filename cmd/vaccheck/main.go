@@ -45,7 +45,7 @@ func run(args []string, out io.Writer) error {
 
 	total, bad := 0, 0
 	for _, path := range fs.Args() {
-		n, failures, err := checkPack(path)
+		n, analysis, failures, err := checkPack(path)
 		if err != nil {
 			return err
 		}
@@ -54,6 +54,16 @@ func run(args []string, out io.Writer) error {
 		if !*quiet {
 			for _, f := range failures {
 				fmt.Fprintf(out, "FAIL %s: %v\n", path, f)
+			}
+			if analysis != nil {
+				fmt.Fprintf(out, "%s: analysed %d sample(s)", path, analysis.Analyzed)
+				if analysis.TriageSkipped > 0 {
+					fmt.Fprintf(out, ", %d triage-skipped (Phase-0)", analysis.TriageSkipped)
+				}
+				if analysis.StaticallyFiltered > 0 {
+					fmt.Fprintf(out, ", %d statically filtered", analysis.StaticallyFiltered)
+				}
+				fmt.Fprintln(out)
 			}
 		}
 	}
@@ -66,16 +76,18 @@ func run(args []string, out io.Writer) error {
 
 // checkPack decodes one pack file without the read-time validation
 // short-circuit (a single bad vaccine must not hide the rest) and
-// verifies every vaccine.
-func checkPack(path string) (int, []error, error) {
+// verifies every vaccine. The pack's embedded analysis stats (if any)
+// come back so provenance — including Phase-0 triage skips — can be
+// reported alongside the verdict.
+func checkPack(path string) (int, *vaccine.AnalysisStats, []error, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return 0, nil, err
+		return 0, nil, nil, err
 	}
 	defer f.Close()
 	var p vaccine.Pack
 	if err := json.NewDecoder(f).Decode(&p); err != nil {
-		return 0, nil, fmt.Errorf("%s: decoding pack: %w", path, err)
+		return 0, nil, nil, fmt.Errorf("%s: decoding pack: %w", path, err)
 	}
 	var failures []error
 	for i := range p.Vaccines {
@@ -92,7 +104,7 @@ func checkPack(path string) (int, []error, error) {
 			failures = append(failures, err)
 		}
 	}
-	return len(p.Vaccines), failures, nil
+	return len(p.Vaccines), p.Analysis, failures, nil
 }
 
 // auditDomain applies the sinkhole rules to domain vaccines: the

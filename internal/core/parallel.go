@@ -71,6 +71,10 @@ type RunStats struct {
 	// proved candidate-free, whose Phase-I emulation was skipped
 	// (subset of Analyzed).
 	StaticallyFiltered int
+	// TriageSkipped counts samples Phase-0 triage proved unable to
+	// invoke any resource API, whose emulation was skipped entirely
+	// (subset of Analyzed, disjoint from StaticallyFiltered).
+	TriageSkipped int
 	// SampleTimes holds per-sample wall time, indexed like the corpus
 	// (zero for skipped samples).
 	SampleTimes []time.Duration
@@ -100,6 +104,7 @@ func (st *RunStats) AnalysisStats() vaccine.AnalysisStats {
 		Panicked:           st.Panicked,
 		Skipped:            st.Skipped,
 		StaticallyFiltered: st.StaticallyFiltered,
+		TriageSkipped:      st.TriageSkipped,
 		WallMillis:         st.Wall.Milliseconds(),
 	}
 }
@@ -119,6 +124,15 @@ type CorpusOptions struct {
 	// identical with the filter on or off; off remains the default so
 	// dynamic-only analysis stays available and testable.
 	StaticPrefilter bool
+	// StaticTriage enables Phase-0 triage (static.RecoverAPISurface):
+	// samples whose recovered API surface provably contains no
+	// resource-labelled API skip emulation entirely and yield an empty
+	// Result. Unlike StaticPrefilter's taint reachability, triage
+	// resolves register-indirect (hash-resolved) callsites against the
+	// loader image, so it also proves hash-resolving samples harmless.
+	// The surface over-approximates every execution's call set, so
+	// packs are byte-identical with triage on or off.
+	StaticTriage bool
 }
 
 // analyzeTestHook, when set, runs at the start of every per-sample
@@ -212,6 +226,7 @@ func (p *Pipeline) AnalyzeCorpus(ctx context.Context, samples []*malware.Sample,
 
 	errs := make([]error, len(samples))
 	filtered := make([]bool, len(samples))
+	triaged := make([]bool, len(samples))
 	var failed atomic.Int64
 	overBudget := func() bool {
 		return opts.MaxErrors > 0 && failed.Load() >= int64(opts.MaxErrors)
@@ -220,6 +235,16 @@ func (p *Pipeline) AnalyzeCorpus(ctx context.Context, samples []*malware.Sample,
 	// semantics cannot drift.
 	runOne := func(i int) {
 		t0 := time.Now()
+		if opts.StaticTriage && p.provablyResourceFree(samples[i]) {
+			// Phase-0: the recovered API surface holds no resource API,
+			// so no execution can even make a resource call. Cheaper and
+			// strictly coarser than the taint pre-filter below — it is
+			// checked first and counted separately.
+			results[i] = &Result{Profile: &Profile{Sample: samples[i]}}
+			triaged[i] = true
+			stats.SampleTimes[i] = time.Since(t0)
+			return
+		}
 		if opts.StaticPrefilter && p.provablyCandidateFree(samples[i]) {
 			// The static pass proved no resource API can reach a
 			// predicate: Phase-I would find no candidates, so the
@@ -280,6 +305,9 @@ func (p *Pipeline) AnalyzeCorpus(ctx context.Context, samples []*malware.Sample,
 			stats.Analyzed++
 			if filtered[i] {
 				stats.StaticallyFiltered++
+			}
+			if triaged[i] {
+				stats.TriageSkipped++
 			}
 		} else {
 			stats.Skipped++

@@ -196,6 +196,22 @@ func (p *Pipeline) provablyCandidateFree(s *malware.Sample) (free bool) {
 	return err == nil && !may
 }
 
+// provablyResourceFree runs the Phase-0 triage pass: true means the
+// recovered API surface (including hash-resolved indirect calls)
+// provably contains no resource-labelled API, so no execution can
+// produce a resource call, let alone a candidate. Any analysis error,
+// a ⊤ surface, or a panic answers false — triage only ever skips work
+// it can prove pointless.
+func (p *Pipeline) provablyResourceFree(s *malware.Sample) (free bool) {
+	defer func() {
+		if recover() != nil {
+			free = false
+		}
+	}()
+	ok, err := static.SurfaceResourceFree(s.Program, p.registry)
+	return err == nil && ok
+}
+
 // Rejection explains why a candidate produced no vaccine.
 type Rejection struct {
 	Candidate Candidate

@@ -10,26 +10,35 @@ import (
 	"autovac/internal/winenv"
 )
 
-// callAPI executes one CALLAPI instruction: argument collection from the
-// stack, identifier resolution (direct or via the handle map), taint
-// source allocation, mutation (impact analysis), implementation
-// dispatch, taint application per the API's label, call logging with
-// calling context, and the stdcall argument pop. It returns the
-// APICall's sequence number.
+// callAPI executes one CALLAPI instruction.
 func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
-	spec, ok := c.registry.Lookup(in.api)
+	return c.callAPINamed(pc, in.api, in.nArgs)
+}
+
+// callAPINamed executes one API call — direct (CALLAPI) or resolved
+// from a register (CALLAPIR, whose dispatcher looks the name up via the
+// loader's address→API binding before landing here): argument
+// collection from the stack, identifier resolution (direct or via the
+// handle map), taint source allocation, mutation (impact analysis),
+// implementation dispatch, taint application per the API's label, call
+// logging with calling context, and the stdcall argument pop. It
+// returns the APICall's sequence number. Both call forms share this
+// path, so a hash-resolved call is observed, tainted, and mutable
+// exactly like a direct one.
+func (c *CPU) callAPINamed(pc int, api string, nArgs int) (int, error) {
+	spec, ok := c.registry.Lookup(api)
 	if !ok {
-		return -1, fmt.Errorf("emu: unknown API %q at pc %d", in.api, pc)
+		return -1, fmt.Errorf("emu: unknown API %q at pc %d", api, pc)
 	}
-	if spec.NArgs != winapi.Variadic && spec.NArgs != in.nArgs {
+	if spec.NArgs != winapi.Variadic && spec.NArgs != nArgs {
 		return -1, fmt.Errorf("emu: %s expects %d args, call site passes %d (pc %d)",
-			in.api, spec.NArgs, in.nArgs, pc)
+			api, spec.NArgs, nArgs, pc)
 	}
 
 	// Collect stack arguments ([esp] is the first).
-	args := make([]winapi.Arg, in.nArgs)
+	args := make([]winapi.Arg, nArgs)
 	esp := c.reg[isa.ESP]
-	for i := 0; i < in.nArgs; i++ {
+	for i := 0; i < nArgs; i++ {
 		addr := esp + uint32(4*i)
 		v, t, err := c.mem.readWord(addr)
 		if err != nil {
@@ -85,7 +94,7 @@ func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
 	// Dispatch, or force the result when a mutation matches.
 	var out winapi.Outcome
 	mutated := false
-	if mu := c.findMutation(in.api, pc, identifier); mu != nil {
+	if mu := c.findMutation(api, pc, identifier); mu != nil {
 		mutated = true
 		out = c.applyMutation(label, *mu, args, src)
 	} else {
@@ -106,7 +115,7 @@ func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
 	}
 	if hasSource {
 		info := taint.SourceInfo{
-			API:      in.api,
+			API:      api,
 			CallerPC: pc,
 			Seq:      c.apiSeq,
 			Success:  out.Success,
@@ -127,7 +136,7 @@ func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
 	if hasSource && label.Taint != winapi.TaintNone {
 		retTaint = retTaint.Union(src)
 	}
-	if in.api == "GetLastError" {
+	if api == "GetLastError" {
 		// The error code's provenance is the call that set it, so
 		// error-handling branches register as tainted predicates.
 		retTaint = retTaint.Union(c.lastErrTaint)
@@ -144,7 +153,7 @@ func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
 	// Build the call record with calling context.
 	call := trace.APICall{
 		Seq:       c.apiSeq,
-		API:       in.api,
+		API:       api,
 		CallerPC:  pc,
 		CallStack: append([]int(nil), c.callStack...),
 		Ret:       out.Ret,
@@ -175,7 +184,7 @@ func (c *CPU) callAPI(pc int, in *dInstr) (int, error) {
 	c.apiSeq++
 
 	// stdcall: the callee pops its arguments.
-	c.reg[isa.ESP] = esp + uint32(4*in.nArgs)
+	c.reg[isa.ESP] = esp + uint32(4*nArgs)
 
 	// Self-termination.
 	if out.Exit != winapi.ExitNone {

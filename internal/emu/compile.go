@@ -24,7 +24,8 @@ import (
 // Execution bails back to the tier-1 step-wise loop whenever fidelity
 // needs it: step recording (per-step access logs), forced execution
 // (branch inversion), an API call boundary (runs are split at every
-// CALLAPI), a run that does not fit the remaining step budget, or
+// CALLAPI and CALLAPIR), a run that does not fit the remaining step
+// budget, or
 // Options.DisableBlocks. The two tiers are byte-identical — pinned by
 // the trace-parity tests here and the corpus golden hash in core.
 
@@ -78,7 +79,7 @@ func compileRuns(p *isa.Program, d *decoded) []*compiledRun {
 	for _, sp := range spans {
 		start := sp.Start
 		for pc := sp.Start; pc < sp.End; pc++ {
-			if d.instrs[pc].op == isa.CALLAPI {
+			if op := d.instrs[pc].op; op == isa.CALLAPI || op == isa.CALLAPIR {
 				if pc > start {
 					runs[start] = compileRun(d, start, pc)
 				}
@@ -228,8 +229,8 @@ func compileInstr(in *dInstr, pc int) (slow, fast opFn, setsPC bool) {
 		return f, f, true
 
 	default:
-		// CALLAPI never reaches here (runs are split around it);
-		// anything else is unknown and stays step-wise.
+		// CALLAPI/CALLAPIR never reach here (runs are split around
+		// them); anything else is unknown and stays step-wise.
 		return nil, nil, false
 	}
 }

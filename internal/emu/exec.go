@@ -252,6 +252,25 @@ func (c *CPU) step() error {
 		}
 		apiSeq = seq
 
+	case isa.CALLAPIR:
+		// Indirect call: the destination register holds an address the
+		// loader issued (GetProcAddress result or an export-table walk).
+		// An address outside the binding faults — there is nothing there
+		// to execute.
+		v, _, err := c.readOperand(in.dst)
+		if err != nil {
+			return err
+		}
+		api, ok := Loader().APIAt(v)
+		if !ok {
+			return fmt.Errorf("emu: callapir to unresolved address %#x at pc %d", v, pc)
+		}
+		seq, err := c.callAPINamed(pc, api, in.nArgs)
+		if err != nil {
+			return err
+		}
+		apiSeq = seq
+
 	case isa.HALT:
 		c.done = true
 		c.exitKind = trace.ExitHalt

@@ -1,0 +1,209 @@
+package emu
+
+import (
+	"fmt"
+	"sync"
+
+	"autovac/internal/winapi"
+	"autovac/internal/winenv"
+)
+
+// The loader surface: every program sees, at LoaderBase, a read-only
+// image describing the loaded modules of the process — the analogue of
+// walking the PEB's module list into each module's PE export table.
+// Hash-resolving malware reads it to find API addresses without naming
+// any API in its instruction stream.
+//
+// Image layout (all words little-endian):
+//
+//	base+0              u32 module count
+//	base+4              module directory, one 12-byte entry per module:
+//	                      {name addr, export count, export table addr}
+//	...                 export tables, one 8-byte entry per export:
+//	                      {LoaderHash(name), winapi.ProcAddr(name)}
+//	...                 name pool: NUL-terminated module names
+//
+// The layout is a pure function of winenv.Modules(), so it is identical
+// in every execution and every process; the static API-surface pass
+// reads the same image to interpret export-table loads without running
+// anything.
+
+// LoaderBase is the load address of the loader image. It sits below
+// RDataBase, so it can never collide with program data (the .rdata and
+// .data bump allocators only grow upward from their bases).
+const LoaderBase uint32 = 0x00300000
+
+// LoaderHash is the export-name hash stored in loader export tables: a
+// rol5-xor FNV-style hash (h = rol(h,5) ^ byte over basis 0x811C9DC5).
+// The rotate decomposes into SHL/SHR/OR, which is how the hash-resolving
+// malware band computes it in ISA code (the ISA has no rotate).
+func LoaderHash(name string) uint32 {
+	h := uint32(0x811C9DC5)
+	for i := 0; i < len(name); i++ {
+		h = (h<<5 | h>>27) ^ uint32(name[i])
+	}
+	return h
+}
+
+// ExportEntry is one export-table row of a loaded module.
+type ExportEntry struct {
+	// Name is the exported API name.
+	Name string
+	// Hash is LoaderHash(Name), the first word of the row.
+	Hash uint32
+	// Addr is winapi.ProcAddr(Name), the second word of the row — the
+	// value CALLAPIR dispatches on and GetProcAddress returns.
+	Addr uint32
+	// EntryAddr is the absolute address of this 8-byte row.
+	EntryAddr uint32
+}
+
+// ModuleInfo is one module of the loader image.
+type ModuleInfo struct {
+	// Name is the module's DLL name.
+	Name string
+	// NameAddr is the address of the NUL-terminated name string.
+	NameAddr uint32
+	// DirAddr is the address of the module's 12-byte directory entry.
+	DirAddr uint32
+	// TableAddr is the address of the first export-table row.
+	TableAddr uint32
+	// TableEnd is one past the last export-table row.
+	TableEnd uint32
+	// Exports lists the rows in table order.
+	Exports []ExportEntry
+}
+
+// LoaderInfo is the process loader surface: the mapped image plus its
+// decoded structure and the address→API binding.
+type LoaderInfo struct {
+	// Base and Size delimit the image mapping.
+	Base, Size uint32
+	// Modules lists the loaded modules in directory order.
+	Modules []ModuleInfo
+
+	image     []byte
+	apiByAddr map[uint32]string
+}
+
+var (
+	loaderOnce sync.Once
+	loaderInfo *LoaderInfo
+)
+
+// Loader returns the process loader surface, building it on first use.
+// The result is immutable and shared by every execution.
+func Loader() *LoaderInfo {
+	loaderOnce.Do(func() { loaderInfo = buildLoader() })
+	return loaderInfo
+}
+
+// buildLoader lays out the image from the fixed module list. It panics
+// on a hash collision inside a module or a resolved-address collision
+// across modules: either would make the address→API binding ambiguous,
+// and both are static properties of the API name set, caught the first
+// time any test touches the loader.
+func buildLoader() *LoaderInfo {
+	mods := winenv.Modules()
+	l := &LoaderInfo{Base: LoaderBase, apiByAddr: make(map[uint32]string)}
+
+	dirBytes := uint32(12 * len(mods))
+	off := 4 + dirBytes
+	for i, m := range mods {
+		mi := ModuleInfo{
+			Name:      m.Name,
+			DirAddr:   LoaderBase + 4 + uint32(12*i),
+			TableAddr: LoaderBase + off,
+		}
+		seen := make(map[uint32]string, len(m.Exports))
+		for _, name := range m.Exports {
+			e := ExportEntry{
+				Name:      name,
+				Hash:      LoaderHash(name),
+				Addr:      winapi.ProcAddr(name),
+				EntryAddr: LoaderBase + off,
+			}
+			if prev, dup := seen[e.Hash]; dup {
+				panic(fmt.Sprintf("emu: loader hash collision in %s: %q vs %q", m.Name, prev, name))
+			}
+			seen[e.Hash] = name
+			if prev, dup := l.apiByAddr[e.Addr]; dup {
+				panic(fmt.Sprintf("emu: loader address collision: %q vs %q", prev, name))
+			}
+			l.apiByAddr[e.Addr] = name
+			mi.Exports = append(mi.Exports, e)
+			off += 8
+		}
+		mi.TableEnd = LoaderBase + off
+		l.Modules = append(l.Modules, mi)
+	}
+	for i := range l.Modules {
+		l.Modules[i].NameAddr = LoaderBase + off
+		off += uint32(len(l.Modules[i].Name)) + 1
+	}
+	l.Size = off
+
+	img := make([]byte, off)
+	putWord := func(addr, v uint32) {
+		o := addr - LoaderBase
+		img[o] = byte(v)
+		img[o+1] = byte(v >> 8)
+		img[o+2] = byte(v >> 16)
+		img[o+3] = byte(v >> 24)
+	}
+	putWord(LoaderBase, uint32(len(l.Modules)))
+	for _, mi := range l.Modules {
+		putWord(mi.DirAddr, mi.NameAddr)
+		putWord(mi.DirAddr+4, uint32(len(mi.Exports)))
+		putWord(mi.DirAddr+8, mi.TableAddr)
+		for _, e := range mi.Exports {
+			putWord(e.EntryAddr, e.Hash)
+			putWord(e.EntryAddr+4, e.Addr)
+		}
+		copy(img[mi.NameAddr-LoaderBase:], mi.Name)
+	}
+	l.image = img
+	return l
+}
+
+// Module returns the named module, or nil.
+func (l *LoaderInfo) Module(name string) *ModuleInfo {
+	for i := range l.Modules {
+		if l.Modules[i].Name == name {
+			return &l.Modules[i]
+		}
+	}
+	return nil
+}
+
+// APIAt resolves a loader-issued address back to its API name — the
+// binding the CALLAPIR dispatcher and GetProcAddress results share.
+func (l *LoaderInfo) APIAt(addr uint32) (string, bool) {
+	name, ok := l.apiByAddr[addr]
+	return name, ok
+}
+
+// Contains reports whether [addr, addr+n) lies inside the image.
+func (l *LoaderInfo) Contains(addr, n uint32) bool {
+	return addr >= l.Base && n <= l.Size && addr-l.Base <= l.Size-n
+}
+
+// ReadWord reads a 32-bit little-endian word from the image — how the
+// static API-surface pass evaluates export-table loads at constant
+// addresses without an emulator.
+func (l *LoaderInfo) ReadWord(addr uint32) (uint32, bool) {
+	if !l.Contains(addr, 4) {
+		return 0, false
+	}
+	o := addr - l.Base
+	return uint32(l.image[o]) | uint32(l.image[o+1])<<8 |
+		uint32(l.image[o+2])<<16 | uint32(l.image[o+3])<<24, true
+}
+
+// mapLoader inserts the shared loader image as a read-only segment.
+// The backing array is the global image itself: writes fault before
+// touching data, so sharing is safe across concurrent executions.
+func (m *memory) mapLoader() {
+	l := Loader()
+	m.insert(&segment{base: l.Base, data: l.image, readOnly: true, name: "loader"})
+}

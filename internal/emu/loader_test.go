@@ -1,0 +1,142 @@
+package emu
+
+import (
+	"sort"
+	"testing"
+
+	"autovac/internal/winapi"
+	"autovac/internal/winenv"
+)
+
+// TestLoaderCoversRegistryExactlyOnce pins the loader image's covering
+// property: every API in the standard registry is exported by exactly
+// one module, and every export names a registered API. Hash-resolving
+// malware can therefore reach any API through the image, and the
+// static surface pass never resolves a row to a name the registry
+// cannot dispatch.
+func TestLoaderCoversRegistryExactlyOnce(t *testing.T) {
+	l := Loader()
+	reg := winapi.Standard()
+
+	exportedBy := make(map[string][]string)
+	for _, m := range l.Modules {
+		for _, e := range m.Exports {
+			exportedBy[e.Name] = append(exportedBy[e.Name], m.Name)
+		}
+	}
+	for _, api := range reg.Names() {
+		switch mods := exportedBy[api]; len(mods) {
+		case 1: // covered exactly once
+		case 0:
+			t.Errorf("registry API %s missing from the loader image", api)
+		default:
+			t.Errorf("registry API %s exported by %d modules: %v", api, len(mods), mods)
+		}
+	}
+	for name := range exportedBy {
+		if _, ok := reg.Lookup(name); !ok {
+			t.Errorf("loader exports %s, which the registry cannot dispatch", name)
+		}
+	}
+}
+
+// TestLoaderBindingsCollisionFree re-checks, as an explicit test, the
+// two uniqueness properties buildLoader panics on — per-module hash
+// uniqueness and global address uniqueness — plus the round trip the
+// dispatcher relies on: APIAt(ProcAddr(name)) == name for every export.
+func TestLoaderBindingsCollisionFree(t *testing.T) {
+	l := Loader()
+	addrs := make(map[uint32]string)
+	for _, m := range l.Modules {
+		hashes := make(map[uint32]string)
+		for _, e := range m.Exports {
+			if prev, dup := hashes[e.Hash]; dup {
+				t.Errorf("%s: hash %#x shared by %s and %s", m.Name, e.Hash, prev, e.Name)
+			}
+			hashes[e.Hash] = e.Name
+			if prev, dup := addrs[e.Addr]; dup {
+				t.Errorf("address %#x shared by %s and %s", e.Addr, prev, e.Name)
+			}
+			addrs[e.Addr] = e.Name
+			if e.Hash != LoaderHash(e.Name) || e.Addr != winapi.ProcAddr(e.Name) {
+				t.Errorf("%s: row disagrees with LoaderHash/ProcAddr", e.Name)
+			}
+			got, ok := l.APIAt(e.Addr)
+			if !ok || got != e.Name {
+				t.Errorf("APIAt(%#x) = %q,%v, want %q", e.Addr, got, ok, e.Name)
+			}
+		}
+	}
+}
+
+// TestLoaderImageDecodesToItself walks the mapped bytes through
+// ReadWord — the static pass's only view of the image — and checks the
+// decoded directory and export rows reproduce the structured form, so
+// the two views (structured for the emulator, raw words for the static
+// pass) can never drift apart.
+func TestLoaderImageDecodesToItself(t *testing.T) {
+	l := Loader()
+	count, ok := l.ReadWord(l.Base)
+	if !ok || count != uint32(len(l.Modules)) {
+		t.Fatalf("module count word = %d,%v, want %d", count, ok, len(l.Modules))
+	}
+	for i, m := range l.Modules {
+		dir := l.Base + 4 + uint32(12*i)
+		if dir != m.DirAddr {
+			t.Errorf("%s: directory at %#x, want %#x", m.Name, m.DirAddr, dir)
+		}
+		nameAddr, _ := l.ReadWord(dir)
+		exports, _ := l.ReadWord(dir + 4)
+		table, _ := l.ReadWord(dir + 8)
+		if nameAddr != m.NameAddr || exports != uint32(len(m.Exports)) || table != m.TableAddr {
+			t.Errorf("%s: directory decodes to {%#x,%d,%#x}, want {%#x,%d,%#x}",
+				m.Name, nameAddr, exports, table, m.NameAddr, len(m.Exports), m.TableAddr)
+		}
+		if m.TableEnd != m.TableAddr+8*uint32(len(m.Exports)) {
+			t.Errorf("%s: TableEnd %#x inconsistent with %d rows at %#x",
+				m.Name, m.TableEnd, len(m.Exports), m.TableAddr)
+		}
+		for j, e := range m.Exports {
+			row := m.TableAddr + 8*uint32(j)
+			h, _ := l.ReadWord(row)
+			a, _ := l.ReadWord(row + 4)
+			if h != e.Hash || a != e.Addr {
+				t.Errorf("%s[%d]: row words {%#x,%#x}, want {%#x,%#x}", m.Name, j, h, a, e.Hash, e.Addr)
+			}
+		}
+		// Rows are sorted by name so the image is a deterministic
+		// function of the module list alone.
+		if !sort.SliceIsSorted(m.Exports, func(a, b int) bool {
+			return m.Exports[a].Name < m.Exports[b].Name
+		}) {
+			t.Errorf("%s: export rows not name-sorted", m.Name)
+		}
+	}
+	// Out-of-image reads must refuse rather than wrap.
+	if _, ok := l.ReadWord(l.Base + l.Size - 2); ok {
+		t.Error("ReadWord straddling the image end succeeded")
+	}
+	if _, ok := l.ReadWord(l.Base - 4); ok {
+		t.Error("ReadWord below the image succeeded")
+	}
+}
+
+// TestModulesPartitionRegistry pins the winenv module list itself:
+// module names are unique and every export list is duplicate-free (the
+// loader's covering test above handles cross-module duplicates).
+func TestModulesPartitionRegistry(t *testing.T) {
+	names := make(map[string]bool)
+	for _, m := range winenv.Modules() {
+		if names[m.Name] {
+			t.Errorf("duplicate module %s", m.Name)
+		}
+		names[m.Name] = true
+		seen := make(map[string]bool)
+		for _, e := range m.Exports {
+			if seen[e] {
+				t.Errorf("%s exports %s twice", m.Name, e)
+			}
+			seen[e] = true
+		}
+	}
+}

@@ -440,6 +440,7 @@ func (m *memory) loadProgram(p *isa.Program) map[string]uint32 {
 	}
 	place(roItems, &roNext, true, ".rdata")
 	place(rwItems, &rwNext, false, ".data")
+	m.mapLoader()
 	m.mapSegment("stack", StackTop-StackSize, int(StackSize)+16, false)
 	return symbols
 }

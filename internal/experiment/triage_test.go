@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestTriageStudy runs the Phase-0 study on a reduced corpus: the
+// hashtick band (one third of the appended hash-resolving samples)
+// must be skipped, the packs must match, and the render must carry the
+// soundness verdict.
+func TestTriageStudy(t *testing.T) {
+	s := smallSetup(t, 20)
+	const perBand = 3
+	stock := len(s.Samples)
+	st, err := s.Triage(context.Background(), perBand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != stock+3*perBand {
+		t.Errorf("Samples = %d, want %d", st.Samples, stock+3*perBand)
+	}
+	if st.HashResolving != 3*perBand {
+		t.Errorf("HashResolving = %d, want %d", st.HashResolving, 3*perBand)
+	}
+	if st.Skipped != perBand {
+		t.Errorf("Skipped = %d, want the %d hashtick samples", st.Skipped, perBand)
+	}
+	if !st.Identical {
+		t.Error("packs diverged: triage dropped a vaccine")
+	}
+	out := RenderTriage(st)
+	for _, want := range []string{"Phase-0 triage study", "triage skipped:", "byte-identical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

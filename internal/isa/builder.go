@@ -208,6 +208,18 @@ func (b *Builder) CallAPI(api string, args ...Operand) *Builder {
 	return b.emit(Instr{Op: CALLAPI, API: api, NArgs: len(args)})
 }
 
+// CallAPIR emits an indirect API call through the register r, which
+// must hold an address previously resolved via GetProcAddress or an
+// export-table hash walk. Arguments are pushed exactly as CallAPI does
+// (first argument pushed last); the callee pops them and the result
+// lands in EAX.
+func (b *Builder) CallAPIR(r Reg, args ...Operand) *Builder {
+	for i := len(args) - 1; i >= 0; i-- {
+		b.Push(args[i])
+	}
+	return b.emit(Instr{Op: CALLAPIR, Dst: R(r), NArgs: len(args)})
+}
+
 // Halt emits a normal program stop.
 func (b *Builder) Halt() *Builder { return b.emit(Instr{Op: HALT}) }
 

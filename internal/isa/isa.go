@@ -163,6 +163,14 @@ const (
 	CALLAPI
 	// HALT stops execution normally.
 	HALT
+	// CALLAPIR invokes the API whose resolved address is in the
+	// destination register (the indirect form real loaders produce via
+	// GetProcAddress or an export-table hash walk). Argument passing and
+	// result delivery match CALLAPI; an address that resolves to no
+	// known API faults. Appended after HALT so every earlier opcode
+	// keeps its numeric value (instruction renderings feed sample
+	// fingerprints).
+	CALLAPIR
 )
 
 // String returns the mnemonic.
@@ -172,7 +180,7 @@ func (op Opcode) String() string {
 		"add", "sub", "xor", "and", "or", "shl", "shr", "inc", "dec",
 		"cmp", "test",
 		"jmp", "jz", "jnz", "jl", "jge", "call", "ret",
-		"callapi", "halt",
+		"callapi", "halt", "callapir",
 	}
 	if int(op) < len(names) {
 		return names[op]
@@ -197,7 +205,7 @@ type Instr struct {
 	Target string
 	// API is the API name for CALLAPI.
 	API string
-	// NArgs is the number of stack arguments for CALLAPI.
+	// NArgs is the number of stack arguments for CALLAPI and CALLAPIR.
 	NArgs int
 	// Label, when non-empty, names this instruction as a jump target.
 	Label string
@@ -211,6 +219,8 @@ func (in Instr) String() string {
 	switch {
 	case in.Op == CALLAPI:
 		s = fmt.Sprintf("callapi %s/%d", in.API, in.NArgs)
+	case in.Op == CALLAPIR:
+		s = fmt.Sprintf("callapir %s/%d", in.Dst, in.NArgs)
 	case in.Op == CALL || in.Op.IsJump():
 		s = fmt.Sprintf("%s %s", in.Op, in.Target)
 	case in.Dst.Kind != KindNone && in.Src.Kind != KindNone:

@@ -192,8 +192,9 @@ var opShapes = map[Opcode]operandShape{
 	JGE:     {noOperand, noOperand},
 	CALL:    {noOperand, noOperand},
 	RET:     {noOperand, noOperand},
-	CALLAPI: {noOperand, noOperand},
-	HALT:    {noOperand, noOperand},
+	CALLAPI:  {noOperand, noOperand},
+	CALLAPIR: {regOnly, noOperand},
+	HALT:     {noOperand, noOperand},
 }
 
 func kindAllowed(k OperandKind, allowed []OperandKind) bool {
@@ -280,6 +281,8 @@ func (p *Program) Validate() error {
 			return fail(i, "missing-api", "callapi without API name")
 		case in.Op == CALLAPI && in.NArgs < 0:
 			return fail(i, "missing-api", "callapi %s with negative NArgs %d", in.API, in.NArgs)
+		case in.Op == CALLAPIR && in.NArgs < 0:
+			return fail(i, "missing-api", "callapir with negative NArgs %d", in.NArgs)
 		case (in.Op.IsJump() || in.Op == CALL) && in.Target == "":
 			return fail(i, "bad-target", "%s without target", in.Op)
 		case in.Op.IsJump() || in.Op == CALL:

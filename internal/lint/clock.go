@@ -1,0 +1,176 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The determinism rule: the analysis core promises that the same seed
+// yields the same bytes — golden pack hashes, replayable slices, and
+// the byte-identity tests all depend on it. A wall-clock read or a
+// draw from math/rand's global source inside one of the deterministic
+// packages silently breaks that promise the first time its value leaks
+// into an output. This rule flags, in the packages the caller names:
+//
+//   - time.Now / time.Since / time.Until calls, and
+//   - any call through the math/rand package identifier that touches
+//     the global source (rand.Intn, rand.Seed, ... — constructing a
+//     seeded private source via rand.New/rand.NewSource stays legal).
+//
+// Measurement code that genuinely needs the clock (run statistics,
+// benchmarks) opts out per call site with a trailing
+// `//lint:allow-clock` comment, which keeps every exemption visible
+// and greppable.
+
+// allowClockDirective is the per-line opt-out marker.
+const allowClockDirective = "lint:allow-clock"
+
+// clockAllowedRandFuncs are the math/rand selectors that construct or
+// operate on a private source rather than drawing from the global one.
+var clockAllowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// CheckClockDir runs the determinism rule over every non-test Go file
+// under each given root (recursively), returning all violations sorted
+// by position. Vendor and testdata directories are skipped.
+func CheckClockDir(roots ...string) ([]Violation, error) {
+	fset := token.NewFileSet()
+	var all []Violation
+	for _, root := range roots {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				switch d.Name() {
+				case "testdata", "vendor":
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+				return nil
+			}
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			f, err := parser.ParseFile(fset, path, src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return fmt.Errorf("lint: %w", err)
+			}
+			all = append(all, CheckClockFile(fset, f)...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return all, nil
+}
+
+// CheckClockFile runs the determinism rule over one parsed file (which
+// must have been parsed with parser.ParseComments for the allowlist to
+// work). Exported separately so tests can feed synthetic sources.
+func CheckClockFile(fset *token.FileSet, f *ast.File) []Violation {
+	timeName, randName := importNames(f)
+	if timeName == "" && randName == "" {
+		return nil
+	}
+	allowed := allowedLines(fset, f)
+	var out []Violation
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		var msg string
+		switch {
+		case pkg.Name == timeName && (sel.Sel.Name == "Now" || sel.Sel.Name == "Since" || sel.Sel.Name == "Until"):
+			msg = fmt.Sprintf("wall clock in deterministic package: time.%s "+
+				"(thread a seed or mark the line //%s)", sel.Sel.Name, allowClockDirective)
+		case pkg.Name == randName && !clockAllowedRandFuncs[sel.Sel.Name]:
+			msg = fmt.Sprintf("global rand source in deterministic package: rand.%s "+
+				"(use rand.New(rand.NewSource(seed)) or mark the line //%s)", sel.Sel.Name, allowClockDirective)
+		default:
+			return true
+		}
+		pos := fset.Position(call.Pos())
+		if !allowed[pos.Line] {
+			out = append(out, Violation{Pos: pos, Msg: msg})
+		}
+		return true
+	})
+	return out
+}
+
+// importNames returns the local identifiers the file binds for "time"
+// and "math/rand" ("" when not imported; dot and blank imports are
+// ignored — the rule matches selector calls only).
+func importNames(f *ast.File) (timeName, randName string) {
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := ""
+		if imp.Name != nil {
+			name = imp.Name.Name
+			if name == "_" || name == "." {
+				continue
+			}
+		}
+		switch path {
+		case "time":
+			if name == "" {
+				name = "time"
+			}
+			timeName = name
+		case "math/rand", "math/rand/v2":
+			if name == "" {
+				name = "rand"
+			}
+			randName = name
+		}
+	}
+	return timeName, randName
+}
+
+// allowedLines collects the lines carrying an allow-clock directive.
+func allowedLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	allowed := make(map[int]bool)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, allowClockDirective) {
+				allowed[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return allowed
+}

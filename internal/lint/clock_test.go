@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+func checkClockSrc(t *testing.T, src string) []Violation {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckClockFile(fset, f)
+}
+
+func TestClockRule(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+		want int // violations
+	}{
+		{
+			name: "time.Now flagged",
+			src: `package p
+import "time"
+func f() time.Time { return time.Now() }`,
+			want: 1,
+		},
+		{
+			name: "time.Since flagged",
+			src: `package p
+import "time"
+func f(t0 time.Time) time.Duration { return time.Since(t0) }`,
+			want: 1,
+		},
+		{
+			name: "allow-clock directive exempts the line",
+			src: `package p
+import "time"
+func f() time.Time { return time.Now() } //lint:allow-clock run stats only`,
+			want: 0,
+		},
+		{
+			name: "directive covers only its own line",
+			src: `package p
+import "time"
+func f() time.Time { return time.Now() } //lint:allow-clock
+func g() time.Time { return time.Now() }`,
+			want: 1,
+		},
+		{
+			name: "global rand source flagged",
+			src: `package p
+import "math/rand"
+func f() int { return rand.Intn(6) }`,
+			want: 1,
+		},
+		{
+			name: "seeded private source is legal",
+			src: `package p
+import "math/rand"
+func f(seed int64) int { return rand.New(rand.NewSource(seed)).Intn(6) }`,
+			want: 0,
+		},
+		{
+			name: "renamed import still matched",
+			src: `package p
+import mrand "math/rand"
+func f() float64 { return mrand.Float64() }`,
+			want: 1,
+		},
+		{
+			name: "duration arithmetic and constants untouched",
+			src: `package p
+import "time"
+func f(d time.Duration) time.Duration { return d + 5*time.Millisecond }`,
+			want: 0,
+		},
+		{
+			name: "other package named time not confused",
+			src: `package p
+import "time"
+type clock struct{}
+func (clock) Now() int { return 0 }
+func f(c clock) int { return c.Now() }
+var _ = time.Millisecond`,
+			want: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := checkClockSrc(t, tt.src)
+			if len(got) != tt.want {
+				t.Fatalf("got %d violations, want %d: %v", len(got), tt.want, got)
+			}
+		})
+	}
+}
+
+// TestNoWallClockInDeterministicPackages enforces the rule over the
+// real tree: the emulator, the static analyses, and the determinism
+// classifier must never read the wall clock or the global rand source
+// — same seed, same bytes. This is the CI entry point; exemptions are
+// per-line //lint:allow-clock directives, greppable by design.
+func TestNoWallClockInDeterministicPackages(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs, err := CheckClockDir(
+		filepath.Join(root, "internal", "emu"),
+		filepath.Join(root, "internal", "static"),
+		filepath.Join(root, "internal", "determinism"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("%s", v)
+	}
+}

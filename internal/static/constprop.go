@@ -165,11 +165,12 @@ func constTransfer(in isa.Instr, st [isa.NumRegs]cval) [isa.NumRegs]cval {
 		st[isa.ESP] = alu(isa.SUB, st[isa.ESP], konst(4))
 	case isa.RET:
 		st[isa.ESP] = alu(isa.ADD, st[isa.ESP], konst(4))
-	case isa.CALLAPI:
+	case isa.CALLAPI, isa.CALLAPIR:
 		st[isa.EAX] = nac()
 		// Stdcall: the callee pops its arguments, so ESP moves by an
 		// amount the instruction states; the return-value write is the
-		// only register effect.
+		// only register effect. A register-indirect call reads its
+		// target register but clobbers nothing beyond EAX/ESP either.
 		st[isa.ESP] = alu(isa.ADD, st[isa.ESP], konst(uint32(4*in.NArgs)))
 	}
 	return st

@@ -414,6 +414,11 @@ func effects(in isa.Instr) (uses, defs []Loc) {
 		// machine state only through memory and EAX.
 		uses = []Loc{esp, MemLoc()}
 		defs = []Loc{RegLoc(isa.EAX), esp, MemLoc()}
+	case isa.CALLAPIR:
+		// Like CALLAPI, plus the register holding the resolved target
+		// address is an input (the dispatcher reads it to pick the API).
+		uses = []Loc{RegLoc(in.Dst.Reg), esp, MemLoc()}
+		defs = []Loc{RegLoc(isa.EAX), esp, MemLoc()}
 	}
 	return uses, defs
 }

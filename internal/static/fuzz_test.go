@@ -81,3 +81,52 @@ func FuzzSliceVerifier(f *testing.F) {
 		_ = static.VerifySlice(&p, resultAddr, nil)
 	})
 }
+
+// FuzzAPISurface feeds mutated programs to the Phase-0 surface
+// recovery. Triage fronts every corpus run, so arbitrary program
+// shapes must produce a surface or an error, never a panic or a hang
+// (the pass has an explicit iteration bailout); and whatever comes
+// back must be self-consistent: a non-⊤ surface contains exactly its
+// listed APIs.
+func FuzzAPISurface(f *testing.F) {
+	// Seed with a real hash-resolving program (the CALLAPIR-heavy
+	// shape) and a direct-call family sample.
+	g := malware.NewGenerator(1)
+	if hr, err := g.HashResolveCorpus(1); err == nil {
+		for _, s := range hr {
+			if raw, err := json.Marshal(s.Program); err == nil {
+				f.Add(raw)
+			}
+		}
+	}
+	if s, err := g.FamilySample(malware.Zeus); err == nil {
+		if raw, err := json.Marshal(s.Program); err == nil {
+			f.Add(raw)
+		}
+	}
+	// Degenerate shapes.
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"Name":"x","Instrs":[{"Op":255}]}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var p isa.Program
+		if err := json.Unmarshal(raw, &p); err != nil {
+			t.Skip()
+		}
+		surf, err := static.RecoverAPISurface(&p)
+		if err != nil || surf == nil {
+			return
+		}
+		if surf.Top {
+			if !surf.Contains("AnyNameAtAll") {
+				t.Fatal("⊤ surface rejected an API")
+			}
+			return
+		}
+		for _, api := range surf.APIs {
+			if !surf.Contains(api) {
+				t.Fatalf("surface lists %s but Contains rejects it", api)
+			}
+		}
+	})
+}

@@ -56,19 +56,28 @@ func BuildTaintFlow(cfg *CFG, reg *winapi.Registry) *TaintFlow {
 	tf := &TaintFlow{cfg: cfg, srcIdx: make(map[int]int)}
 	prog := cfg.Prog
 	for pc, in := range prog.Instrs {
-		if in.Op != isa.CALLAPI {
-			continue
-		}
-		spec, ok := reg.Lookup(in.API)
-		if !ok {
-			continue
-		}
-		if spec.IsResource() || spec.Label.Class != winapi.ClassNone {
+		switch in.Op {
+		case isa.CALLAPI:
+			spec, ok := reg.Lookup(in.API)
+			if !ok {
+				continue
+			}
+			if spec.IsResource() || spec.Label.Class != winapi.ClassNone {
+				tf.srcIdx[pc] = len(tf.Sources)
+				tf.Sources = append(tf.Sources, pc)
+				if spec.IsResource() {
+					tf.ResourceSources = append(tf.ResourceSources, pc)
+				}
+			}
+		case isa.CALLAPIR:
+			// The callee is resolved at runtime, so this pass cannot
+			// name it. Stay MAY-sided: treat every register-indirect
+			// callsite as a potential resource source. The API-surface
+			// pass (apisurface.go) recovers the actual callee set when
+			// the target is statically resolvable.
 			tf.srcIdx[pc] = len(tf.Sources)
 			tf.Sources = append(tf.Sources, pc)
-			if spec.IsResource() {
-				tf.ResourceSources = append(tf.ResourceSources, pc)
-			}
+			tf.ResourceSources = append(tf.ResourceSources, pc)
 		}
 	}
 	tf.reach = make([]bool, len(tf.Sources))
@@ -177,6 +186,19 @@ func BuildTaintFlow(cfg *CFG, reg *winapi.Registry) *TaintFlow {
 				}
 				st[lastErr] = fresh
 			}
+			return
+		case in.Op == isa.CALLAPIR:
+			// Unknown callee: assume the worst of any registered API —
+			// a resource source that taints EAX and memory and sets the
+			// last-error provenance.
+			if idx, isSrc := tf.srcIdx[i]; isSrc {
+				t.set(idx)
+				fresh := newBitset(ns)
+				fresh.set(idx)
+				st[lastErr] = fresh
+			}
+			st[locID[RegLoc(isa.EAX)]] = t.clone()
+			st[locID[MemLoc()]].or(t)
 			return
 		}
 		weak := in.Op == isa.MOVB

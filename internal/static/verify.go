@@ -205,6 +205,13 @@ func VerifySlice(p *isa.Program, resultAddr uint32, reg *winapi.Registry) error 
 					return err
 				}
 			}
+		case isa.CALLAPIR:
+			// A register-indirect API call's callee depends on runtime
+			// state the verifier cannot pin down, so none of the
+			// allowlist properties can be established. Genuine slices
+			// are rebuilt from named calls; computed calls never belong
+			// in one.
+			return fail(pc, RuleAPIAllow, "register-indirect api call cannot be allowlisted for replay")
 		case isa.MOV, isa.LEA, isa.ADD, isa.SUB, isa.XOR, isa.AND,
 			isa.OR, isa.SHL, isa.SHR, isa.INC, isa.DEC, isa.CMP, isa.TEST:
 			if in.Op != isa.LEA {

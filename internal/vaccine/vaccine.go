@@ -178,6 +178,10 @@ type AnalysisStats struct {
 	// StaticallyFiltered counts samples the static taint pre-filter
 	// proved candidate-free, skipping their Phase-I emulation.
 	StaticallyFiltered int `json:",omitempty"`
+	// TriageSkipped counts samples Phase-0 triage proved unable to
+	// invoke any resource API (recovered API surface), skipping their
+	// emulation entirely.
+	TriageSkipped int `json:",omitempty"`
 	// WallMillis is the run's wall time in milliseconds.
 	WallMillis int64
 }
@@ -190,6 +194,7 @@ func (a *AnalysisStats) Add(b AnalysisStats) {
 	a.Panicked += b.Panicked
 	a.Skipped += b.Skipped
 	a.StaticallyFiltered += b.StaticallyFiltered
+	a.TriageSkipped += b.TriageSkipped
 	a.WallMillis += b.WallMillis
 }
 

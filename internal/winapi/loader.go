@@ -1,0 +1,15 @@
+package winapi
+
+// ProcAddr returns the synthetic resolved address of a named API — the
+// value GetProcAddress has always produced for it. It is the single
+// address→API binding shared by the emulator's loader surface
+// (emu's export tables map each export name to ProcAddr(name)), the
+// CALLAPIR dispatcher, and the static API-surface recovery pass; every
+// consumer must use this function so a hash-walked address and a
+// GetProcAddress result resolve identically.
+//
+// The formula is frozen: changing it would change GetProcAddress's
+// return values and break the golden corpus hash.
+func ProcAddr(name string) uint32 {
+	return 0x20000000 | (hash32(name) & 0x0FFFFFF0)
+}

@@ -224,7 +224,7 @@ func registerLibrary(r *Registry) {
 			if err != nil {
 				return Outcome{}, err
 			}
-			return Outcome{Ret: 0x20000000 | (hash32(proc) & 0x0FFFFFF0), Success: true}, nil
+			return Outcome{Ret: ProcAddr(proc), Success: true}, nil
 		},
 	})
 

@@ -1,0 +1,60 @@
+package winenv
+
+// Module is one loaded module of the emulated process: a DLL name plus
+// its export-name list. The emulator lays these out as readable loader
+// memory (module directory + per-export {hash, address} tables, see
+// emu's loader image), which is how hash-resolving malware finds API
+// addresses without import-style CALLAPI names.
+type Module struct {
+	// Name is the canonical lower-case DLL file name.
+	Name string
+	// Exports lists the exported API names, in export-table order.
+	Exports []string
+}
+
+// Modules returns the fixed module list of the analysis environment.
+// Every API registered in winapi.Standard/StandardC2 appears in exactly
+// one module (enforced by emu's loader coverage test); the partition
+// mirrors where the real Windows APIs live. The list and its order are
+// frozen: export-table layout, per-export hashes, and resolved
+// addresses are derived from it deterministically.
+func Modules() []Module {
+	return []Module{
+		{Name: "kernel32.dll", Exports: []string{
+			"CloseHandle", "CopyFileA", "CreateFileA", "CreateMutexA",
+			"CreateProcessA", "CreateRemoteThread", "DeleteFileA",
+			"ExitProcess", "ExitThread", "FreeLibrary",
+			"GetComputerNameA", "GetCurrentProcess", "GetFileAttributesA",
+			"GetLastError", "GetModuleFileNameA", "GetModuleHandleA",
+			"GetProcAddress", "GetSystemDirectoryA", "GetTempFileNameA",
+			"GetTempPathA", "GetTickCount", "GetVolumeInformationA",
+			"LoadLibraryA", "OpenMutexA", "OpenProcessByNameA",
+			"QueryPerformanceCounter", "ReadFile", "ReleaseMutex",
+			"Sleep", "TerminateProcess", "WriteFile",
+			"WriteProcessMemory", "lstrcatA", "lstrcmpA", "lstrcmpiA",
+			"lstrcpyA", "lstrlenA",
+		}},
+		{Name: "advapi32.dll", Exports: []string{
+			"CloseServiceHandle", "CreateServiceA", "DeleteService",
+			"GetUserNameA", "OpenSCManagerA", "OpenServiceA",
+			"RegCloseKey", "RegCreateKeyExA", "RegDeleteKeyA",
+			"RegOpenKeyExA", "RegQueryValueExA", "RegSetValueExA",
+			"StartServiceA",
+		}},
+		{Name: "user32.dll", Exports: []string{
+			"CreateWindowExA", "DestroyWindow", "FindWindowA",
+			"RegisterClassA", "ShowWindow", "wsprintfA",
+		}},
+		{Name: "ws2_32.dll", Exports: []string{
+			"closesocket", "connect", "gethostbyname", "gethostname",
+			"recv", "send", "socket",
+		}},
+		{Name: "wininet.dll", Exports: []string{
+			"InternetCloseHandle", "InternetOpenA", "InternetOpenUrlA",
+			"InternetReadFile",
+		}},
+		{Name: "msvcrt.dll", Exports: []string{
+			"_itoa", "_snprintf", "rand",
+		}},
+	}
+}
