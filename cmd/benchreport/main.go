@@ -44,6 +44,8 @@ func run(args []string) error {
 		prefil = fs.Bool("prefilter", false, "run the static pre-filter study (prefilter on vs off)")
 		triage = fs.Bool("triage", false, "run the Phase-0 triage study (static API-surface recovery on vs off)")
 		epidem = fs.Bool("epidemic", false, "run the killswitch-worm vs vaccine-sync epidemic race")
+		cplane = fs.Bool("controlplane", false, "run the fleet-scale poll vs long-poll distribution study")
+		hosts  = fs.Int("hosts", 100000, "fleet size for -controlplane")
 		all    = fs.Bool("all", false, "regenerate everything")
 		bdrCap = fs.Int("bdrcap", 10, "max vaccines measured per effect class for Figure 4")
 		bench  = fs.Bool("bench", false, "run the emulator bench trajectory and write -benchout")
@@ -56,6 +58,21 @@ func run(args []string) error {
 		// The bench trajectory builds its own fixtures; skip the corpus
 		// setup the report paths need.
 		return runBench(*bout)
+	}
+	if *cplane {
+		// The control-plane study builds its own in-process fleet; skip
+		// the corpus setup the report paths need. It is never part of
+		// -all: at the default 100k hosts it is a multi-second wall-clock
+		// measurement that would distort the report timings around it.
+		rep, err := experiment.RunControlPlane(context.Background(), experiment.ControlPlaneConfig{
+			Hosts: *hosts,
+			Seed:  uint64(*seed),
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderControlPlane(rep))
+		return nil
 	}
 	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil && !*triage && !*epidem {
 		*all = true

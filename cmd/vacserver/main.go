@@ -6,12 +6,16 @@
 //
 //	autovac -corpus 60 -out pack.json
 //	vacserver -addr 127.0.0.1:8377 -pack pack.json
+//	vacserver -addr 127.0.0.1:8377 -state-dir /var/lib/vacserver
 //	vacdaemon -server http://127.0.0.1:8377
 //
-// Endpoints: GET /v1/packs?since=<version> (delta sync, ETag/304),
-// POST /v1/checkin (host heartbeats), GET /v1/metrics (counters).
-// SIGINT/SIGTERM drain in-flight requests and print a final stats
-// line before exit.
+// Endpoints: GET /v1/packs?since=<version> (delta sync, ETag/304;
+// &wait=<dur> long-polls until the next publish), POST /v1/checkin
+// (host heartbeats), GET /v1/metrics (counters). With -state-dir the
+// registry is durable: publishes are fsynced to a write-ahead log,
+// snapshots compact it, and a restart replays the state so agents
+// resume from their cursors. SIGINT/SIGTERM drain in-flight requests
+// and print a final stats line before exit.
 package main
 
 import (
@@ -55,12 +59,26 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr st
 		packs     = fs.String("pack", "", "comma-separated vaccine pack files (JSON) to publish")
 		shards    = fs.Int("shards", fleet.DefaultShards, "registry shard count")
 		generator = fs.String("generator", "autovac", "generator label echoed in sync responses")
+		stateDir  = fs.String("state-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	reg := fleet.NewRegistry(*shards)
+	var reg *fleet.Registry
+	if *stateDir != "" {
+		r, err := fleet.OpenRegistry(*stateDir, *shards)
+		if err != nil {
+			return fmt.Errorf("opening state dir %s: %w", *stateDir, err)
+		}
+		reg = r
+		defer reg.Close()
+		rec := reg.Recovery()
+		fmt.Fprintf(out, "vacserver: recovered state from %s: snapshot v%d + %d WAL records over %d segments (version %d, %d truncated bytes)\n",
+			*stateDir, rec.SnapshotVersion, rec.Records, rec.Segments, reg.Latest(), rec.TruncatedBytes)
+	} else {
+		reg = fleet.NewRegistry(*shards)
+	}
 	reg.SetGenerator(*generator)
 	for _, path := range splitList(*packs) {
 		n, err := publishPack(reg, path)

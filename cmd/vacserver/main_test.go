@@ -137,6 +137,93 @@ func TestServeSyncShutdown(t *testing.T) {
 	}
 }
 
+// bootServer runs the server with args until ready, returning its base
+// URL and a shutdown func that waits for the drain to finish.
+func bootServer(t *testing.T, out *lockedBuffer, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, args, out, func(addr string) { ready <- addr })
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		cancel()
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(5 * time.Second):
+		cancel()
+		t.Fatal("server never became ready")
+	}
+	return "http://" + addr, func() {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("run returned %v", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("server did not shut down")
+		}
+	}
+}
+
+// TestStateDirSurvivesRestart boots the server with -state-dir and a
+// pack, shuts it down, and boots it again WITHOUT the pack: the WAL
+// replay must restore the same content at the same version, and a
+// client whose cursor matches must get a 304 — not a resync.
+func TestStateDirSurvivesRestart(t *testing.T) {
+	pack := writePack(t, 5)
+	stateDir := filepath.Join(t.TempDir(), "state")
+
+	out1 := &lockedBuffer{}
+	base, shutdown := bootServer(t, out1, "-addr", "127.0.0.1:0", "-pack", pack, "-state-dir", stateDir)
+	resp, err := http.Get(base + fleet.PathPacks + "?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first fleet.DeltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&first); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	shutdown()
+
+	// Reboot from the state dir alone.
+	out2 := &lockedBuffer{}
+	base, shutdown = bootServer(t, out2, "-addr", "127.0.0.1:0", "-state-dir", stateDir)
+	defer shutdown()
+	if !strings.Contains(out2.String(), "recovered state") {
+		t.Fatalf("no recovery line in output:\n%s", out2.String())
+	}
+	resp, err = http.Get(base + fleet.PathPacks + "?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second fleet.DeltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&second); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if second.Version != first.Version || second.ETag != first.ETag {
+		t.Fatalf("reboot state: version %d etag %s, want %d / %s",
+			second.Version, second.ETag, first.Version, first.ETag)
+	}
+	// An agent current as of the previous incarnation stays current.
+	req, _ := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s%s?since=%d", base, fleet.PathPacks, first.Version), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("up-to-date agent after reboot got %d, want 304", resp.StatusCode)
+	}
+}
+
 func TestRunRejectsMissingPack(t *testing.T) {
 	err := run(context.Background(), []string{"-pack", "/nonexistent/pack.json"}, &bytes.Buffer{}, nil)
 	if err == nil {

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"autovac/internal/fleet"
+)
+
+// The control-plane study measures vaccine *distribution* at fleet
+// scale, independent of the emulation stack: how long after a publish
+// does the last of N hosts hold the pack, what is the per-host sync
+// latency distribution, and what does the fleet's polling traffic cost
+// on the wire? It runs the same fleet twice — plain interval polling
+// vs long-poll streaming (&wait=) — so the table is a direct ablation
+// of the streaming push path.
+
+// ControlPlaneConfig configures the distribution study.
+type ControlPlaneConfig struct {
+	// Hosts is the fleet size (default 100000).
+	Hosts int
+	// Waves is the number of measured publishes (default 3).
+	Waves int
+	// PollInterval is the plain-polling cadence (default 2s — a
+	// realistic fleet-agent interval; the point of the study is what
+	// that cadence costs relative to streaming).
+	PollInterval time.Duration
+	// LongPoll is the streaming wait (default 30s).
+	LongPoll time.Duration
+	// Seed drives agent phase jitter.
+	Seed uint64
+}
+
+// ControlPlaneRow is one sync mode's measured outcome.
+type ControlPlaneRow struct {
+	// Mode is "poll" or "long-poll".
+	Mode string
+	// Result is the raw simulation outcome.
+	Result *fleet.ControlPlaneResult
+}
+
+// ControlPlaneReport is the full study.
+type ControlPlaneReport struct {
+	// Hosts, Waves, and PollInterval echo the configuration.
+	Hosts, Waves int
+	PollInterval time.Duration
+	// Rows holds the poll row then the long-poll row.
+	Rows []ControlPlaneRow
+}
+
+// RunControlPlane races the two sync modes over identical fleets.
+func RunControlPlane(ctx context.Context, cfg ControlPlaneConfig) (*ControlPlaneReport, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 100000
+	}
+	if cfg.Waves <= 0 {
+		cfg.Waves = 3
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 2 * time.Second
+	}
+	if cfg.LongPoll <= 0 {
+		cfg.LongPoll = 30 * time.Second
+	}
+
+	base := fleet.ControlPlaneConfig{
+		Hosts:        cfg.Hosts,
+		Waves:        cfg.Waves,
+		PollInterval: cfg.PollInterval,
+		Seed:         cfg.Seed,
+	}
+	rep := &ControlPlaneReport{Hosts: cfg.Hosts, Waves: cfg.Waves, PollInterval: cfg.PollInterval}
+
+	poll, err := fleet.SimulateControlPlane(ctx, base)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: control plane (poll): %w", err)
+	}
+	rep.Rows = append(rep.Rows, ControlPlaneRow{Mode: "poll", Result: poll})
+
+	lp := base
+	lp.LongPoll = cfg.LongPoll
+	stream, err := fleet.SimulateControlPlane(ctx, lp)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: control plane (long-poll): %w", err)
+	}
+	rep.Rows = append(rep.Rows, ControlPlaneRow{Mode: "long-poll", Result: stream})
+	return rep, nil
+}
+
+// RenderControlPlane renders the study as a text table.
+func RenderControlPlane(rep *ControlPlaneReport) string {
+	var b strings.Builder
+	b.WriteString("Control plane — delta distribution at fleet scale\n")
+	fmt.Fprintf(&b, "%d hosts, %d publish waves; poll interval %v\n",
+		rep.Hosts, rep.Waves, rep.PollInterval)
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %10s %12s %10s\n",
+		"mode", "converge", "p50", "p99", "requests", "bytes", "deltas")
+	for _, row := range rep.Rows {
+		r := row.Result
+		fmt.Fprintf(&b, "%-10s %10v %10v %10v %10d %12d %10d\n",
+			row.Mode,
+			r.ConvergeTime.Round(time.Millisecond),
+			r.SyncP50.Round(time.Millisecond),
+			r.SyncP99.Round(time.Millisecond),
+			r.Requests, r.BytesOnWire, r.Deltas)
+	}
+	if len(rep.Rows) == 2 {
+		p, s := rep.Rows[0].Result, rep.Rows[1].Result
+		if p.ConvergeTime > 0 && s.BytesOnWire > 0 {
+			fmt.Fprintf(&b, "long-poll: %.1fx faster convergence, %.1fx fewer bytes on wire\n",
+				float64(p.ConvergeTime)/float64(maxDuration(s.ConvergeTime, time.Millisecond)),
+				float64(p.BytesOnWire)/float64(s.BytesOnWire))
+		}
+	}
+	return b.String()
+}
+
+// maxDuration floors a duration for safe ratio rendering.
+func maxDuration(d, floor time.Duration) time.Duration {
+	if d < floor {
+		return floor
+	}
+	return d
+}

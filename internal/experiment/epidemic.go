@@ -52,7 +52,8 @@ type EpidemicRow struct {
 	// Attempts and Repelled count infection attempts and survivals.
 	Attempts int
 	Repelled int
-	// Immunized counts hosts that installed the pack.
+	// Immunized counts hosts that were still clean when the pack
+	// landed — the hosts the sync actually protected.
 	Immunized int
 }
 
@@ -163,7 +164,7 @@ func RenderEpidemic(rep *EpidemicReport) string {
 	for w := 0; w < len(rep.Rows[0].Curve); w++ {
 		fmt.Fprintf(&b, " %4s", fmt.Sprintf("w%d", w))
 	}
-	fmt.Fprintf(&b, " %9s\n", "repelled")
+	fmt.Fprintf(&b, " %9s %9s\n", "repelled", "immunized")
 	for _, r := range rep.Rows {
 		label := fmt.Sprintf("+%d waves", r.Latency)
 		if r.Latency < 0 {
@@ -173,7 +174,7 @@ func RenderEpidemic(rep *EpidemicReport) string {
 		for _, n := range r.Curve {
 			fmt.Fprintf(&b, " %4d", n)
 		}
-		fmt.Fprintf(&b, " %9d\n", r.Repelled)
+		fmt.Fprintf(&b, " %9d %9d\n", r.Repelled, r.Immunized)
 	}
 	return b.String()
 }

@@ -40,6 +40,12 @@ type AgentConfig struct {
 	// backoff between retries.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// LongPoll, when > 0, switches pack fetches to streaming mode: the
+	// request parks on the server (&wait=) for up to this long and
+	// returns the instant a publish lands, so deltas arrive at publish
+	// latency instead of poll latency. Run then re-polls immediately
+	// after each cycle; the poll interval only paces plain polling.
+	LongPoll time.Duration
 }
 
 // AgentStats counts one agent's sync activity. Read it from the
@@ -56,6 +62,9 @@ type AgentStats struct {
 	Applied int
 	Skipped int
 	Failed  int
+	// Resyncs counts Reset deltas adopted (the server's version line
+	// restarted below ours).
+	Resyncs int
 	// Checkins counts delivered heartbeats.
 	Checkins int
 }
@@ -127,6 +136,22 @@ func (a *Agent) Env() *winenv.Env { return a.cfg.Env }
 // Host returns the agent's check-in identifier.
 func (a *Agent) Host() string { return a.cfg.Host }
 
+// minJitterInterval is the floor every jittered delay is clamped to:
+// below it rng.Int63n would be fed a non-positive bound (a panic for
+// interval <= 0) and the poll loop would spin hot.
+const minJitterInterval = time.Millisecond
+
+// jitteredInterval returns d with ±50% jitter (uniform in [d/2, 3d/2)),
+// clamping d to minJitterInterval first. It is the one shared jitter
+// helper: retry backoff and the poll loop both draw through it, so
+// neither can panic on a degenerate duration.
+func jitteredInterval(rng *rand.Rand, d time.Duration) time.Duration {
+	if d < minJitterInterval {
+		d = minJitterInterval
+	}
+	return d/2 + time.Duration(rng.Int63n(int64(d)))
+}
+
 // backoffDelay computes the sleep before retry attempt n (0-based):
 // exponential growth with ±50% jitter, clamped to MaxBackoff. The
 // clamp applies to the jittered value, not just the exponential base —
@@ -136,7 +161,7 @@ func (a *Agent) backoffDelay(n int) time.Duration {
 	if d > a.cfg.MaxBackoff || d <= 0 {
 		d = a.cfg.MaxBackoff
 	}
-	d = d/2 + time.Duration(a.rng.Int63n(int64(d)))
+	d = jitteredInterval(a.rng, d)
 	if d > a.cfg.MaxBackoff {
 		d = a.cfg.MaxBackoff
 	}
@@ -174,9 +199,13 @@ func (a *Agent) retry(ctx context.Context, op func() error) error {
 }
 
 // fetch performs one GET /v1/packs round trip. A nil delta with nil
-// error means 304 Not Modified.
+// error means 304 Not Modified (for a long-poll fetch: the wait
+// expired with nothing published).
 func (a *Agent) fetch(ctx context.Context) (*DeltaResponse, error) {
 	url := fmt.Sprintf("%s%s?since=%d", a.cfg.BaseURL, PathPacks, a.version)
+	if a.cfg.LongPoll > 0 {
+		url += "&wait=" + a.cfg.LongPoll.String()
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
@@ -256,6 +285,12 @@ func (a *Agent) SyncOnce(ctx context.Context) (int, error) {
 		a.stats.NotModified++
 	} else {
 		a.stats.Deltas++
+		if delta.Reset || delta.Version < a.version {
+			// The server's version line restarted below ours: rebase on
+			// it. Installed vaccines stay installed (immunization is
+			// additive); only the sync cursor moves back.
+			a.stats.Resyncs++
+		}
 		installed, skipped, failed := a.daemon.InstallPack(delta.Vaccines)
 		a.stats.Applied += installed
 		a.stats.Skipped += skipped
@@ -272,16 +307,22 @@ func (a *Agent) SyncOnce(ctx context.Context) (int, error) {
 }
 
 // Run polls until the context is cancelled, sleeping interval (with
-// ±50% jitter) between sync cycles. Sync errors are counted and the
-// loop continues; the only exit is context cancellation, whose cause
-// is returned as nil for a clean ctx.Done.
+// ±50% jitter, floored at minJitterInterval so a zero or negative
+// interval cannot panic the jitter draw) between sync cycles. With
+// LongPoll configured the park happens server-side inside SyncOnce, so
+// only a token jittered delay separates cycles — deltas then arrive at
+// publish latency. Sync errors are counted and the loop continues; the
+// only exit is context cancellation, whose cause is returned as nil
+// for a clean ctx.Done.
 func (a *Agent) Run(ctx context.Context, interval time.Duration) error {
 	for {
 		if _, err := a.SyncOnce(ctx); err != nil && ctx.Err() != nil {
 			return nil
 		}
-		d := interval/2 + time.Duration(a.rng.Int63n(int64(interval)))
-		t := time.NewTimer(d)
+		if a.cfg.LongPoll > 0 {
+			interval = minJitterInterval
+		}
+		t := time.NewTimer(jitteredInterval(a.rng, interval))
 		select {
 		case <-ctx.Done():
 			t.Stop()

@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -235,6 +236,120 @@ func TestAgentRunStopsOnCancel(t *testing.T) {
 	}
 	if st := a.Stats(); st.Syncs < 2 {
 		t.Fatalf("run completed only %d syncs", st.Syncs)
+	}
+}
+
+// TestAgentRunZeroIntervalNoPanic pins the jitter-floor fix: Run with
+// a zero (or negative) interval used to feed rng.Int63n a non-positive
+// bound and panic; now the draw is floored at minJitterInterval.
+func TestAgentRunZeroIntervalNoPanic(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("z", 1)...)
+	for _, interval := range []time.Duration{0, -time.Second} {
+		a := newTestAgent(ts, "AGENT-PC-Z")
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() { done <- a.Run(ctx, interval) }()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("interval %v: run returned %v", interval, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("interval %v: run did not stop on cancel", interval)
+		}
+		if st := a.Stats(); st.Syncs < 1 {
+			t.Fatalf("interval %v: no syncs completed", interval)
+		}
+	}
+}
+
+// TestJitteredIntervalBounds pins the shared jitter helper's envelope,
+// including the degenerate durations that used to panic.
+func TestJitteredIntervalBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []time.Duration{-time.Second, 0, 1, minJitterInterval, 10 * time.Millisecond} {
+		eff := d
+		if eff < minJitterInterval {
+			eff = minJitterInterval
+		}
+		for i := 0; i < 100; i++ {
+			got := jitteredInterval(rng, d)
+			if got < eff/2 || got >= eff/2+eff {
+				t.Fatalf("jitteredInterval(%v) = %v outside [%v, %v)", d, got, eff/2, eff/2+eff)
+			}
+		}
+	}
+}
+
+// TestAgentResyncAfterRegistryRestart plays the agent that outlived a
+// registry restarted without its WAL: its cursor is ahead of the
+// server, and the Reset delta must rebase it instead of 304ing forever.
+func TestAgentResyncAfterRegistryRestart(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("rb", 2)...)
+	a := newTestAgent(ts, "AGENT-PC-RB")
+	a.version = 99 // cursor from the previous registry incarnation
+
+	applied, err := a.SyncOnce(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 2 || a.Version() != 2 {
+		t.Fatalf("resync applied %d at version %d, want 2 at 2", applied, a.Version())
+	}
+	if st := a.Stats(); st.Resyncs != 1 {
+		t.Fatalf("resyncs %d, want 1", st.Resyncs)
+	}
+	// Rebased: steady state is a plain 304 again.
+	if _, err := a.SyncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.NotModified != 1 {
+		t.Fatalf("post-rebase stats %+v", st)
+	}
+}
+
+// TestAgentLongPollWakesOnPublish runs a streaming agent against a
+// quiet server and publishes mid-park: the agent must apply and
+// heartbeat the new version at publish latency, far sooner than its
+// (deliberately huge) poll interval.
+func TestAgentLongPollWakesOnPublish(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("st", 1)...)
+	id := winenv.DefaultIdentity()
+	id.ComputerName = "AGENT-PC-ST"
+	a := NewAgent(AgentConfig{
+		BaseURL:  ts.URL,
+		Env:      winenv.New(id),
+		Seed:     42,
+		LongPoll: 10 * time.Second,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- a.Run(ctx, time.Hour) }()
+
+	// Let the agent take the initial delta and park, then publish.
+	time.Sleep(50 * time.Millisecond)
+	srv.Registry().Publish(testVaccines("st2", 1)...)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := srv.Registry().Fleet(time.Minute, time.Now())
+		if st.ActiveHosts == 1 && st.MinVersion == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("streaming agent never heartbeat version 2: fleet %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("streaming agent did not stop on cancel")
 	}
 }
 

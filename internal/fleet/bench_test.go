@@ -6,6 +6,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -113,6 +114,42 @@ func BenchmarkWormSim(b *testing.B) {
 		if res.FinalInfected() == 0 {
 			b.Fatal("no infections")
 		}
+	}
+}
+
+// BenchmarkControlPlaneConvergence measures one publish wave reaching
+// a small in-process fleet under both sync modes. The interesting
+// numbers are the reported metrics (convergence wall-clock and wire
+// bytes), not ns/op; CI runs it at -benchtime 1x as a smoke test that
+// the scale harness converges at all.
+func BenchmarkControlPlaneConvergence(b *testing.B) {
+	modes := []struct {
+		name     string
+		longPoll time.Duration
+	}{
+		{"poll", 0},
+		{"longpoll", 5 * time.Second},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := SimulateControlPlane(context.Background(), ControlPlaneConfig{
+					Hosts:        256,
+					Waves:        1,
+					PollInterval: 50 * time.Millisecond,
+					LongPoll:     m.longPoll,
+					Seed:         uint64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Deltas == 0 {
+					b.Fatal("no deltas served")
+				}
+				b.ReportMetric(float64(res.ConvergeTime.Microseconds()), "µs-converge")
+				b.ReportMetric(float64(res.BytesOnWire), "wire-bytes")
+			}
+		})
 	}
 }
 

@@ -58,6 +58,8 @@ type Metrics struct {
 	requests    atomic.Uint64
 	deltas      atomic.Uint64
 	notModified atomic.Uint64
+	longPolls   atomic.Uint64
+	resyncs     atomic.Uint64
 	checkins    atomic.Uint64
 	errors      atomic.Uint64
 	bytesOut    atomic.Uint64
@@ -72,6 +74,12 @@ type MetricsSnapshot struct {
 	DeltasServed uint64
 	// NotModified counts 304 responses on /v1/packs.
 	NotModified uint64
+	// LongPolls counts pack requests that parked on the publish
+	// broadcaster (wait= with an up-to-date since).
+	LongPolls uint64
+	// Resyncs counts pack requests whose since was ahead of the
+	// registry, answered with a full Reset delta.
+	Resyncs uint64
 	// Checkins counts accepted heartbeats.
 	Checkins uint64
 	// Errors counts 4xx/5xx responses.
@@ -101,6 +109,8 @@ func (m *Metrics) snapshot() MetricsSnapshot {
 		Requests:     m.requests.Load(),
 		DeltasServed: m.deltas.Load(),
 		NotModified:  m.notModified.Load(),
+		LongPolls:    m.longPolls.Load(),
+		Resyncs:      m.resyncs.Load(),
 		Checkins:     m.checkins.Load(),
 		Errors:       m.errors.Load(),
 		BytesServed:  m.bytesOut.Load(),

@@ -1,0 +1,38 @@
+package fleet
+
+import "sync"
+
+// notifier is the publish broadcaster behind the streaming delta push:
+// long-poll sync handlers park on the current generation channel and
+// every publish closes it, waking all of them at once. Closing a
+// channel is the one Go primitive that broadcasts to any number of
+// waiters without tracking them, so a wake is O(1) for the publisher
+// regardless of how many agents are parked.
+type notifier struct {
+	mu sync.Mutex
+	ch chan struct{}
+}
+
+func newNotifier() *notifier {
+	return &notifier{ch: make(chan struct{})}
+}
+
+// wait returns the channel the next wake will close. To avoid missed
+// wakeups, callers must grab the channel BEFORE re-checking the
+// condition it signals (the registry version): a publish that lands
+// between the check and the park closes the channel the caller already
+// holds, so the park falls through immediately.
+func (n *notifier) wait() <-chan struct{} {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ch
+}
+
+// wake broadcasts to every current waiter and resets for the next
+// generation.
+func (n *notifier) wake() {
+	n.mu.Lock()
+	close(n.ch)
+	n.ch = make(chan struct{})
+	n.mu.Unlock()
+}

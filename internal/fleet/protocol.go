@@ -11,6 +11,9 @@
 //
 //	GET  /v1/packs?since=<version>  -> DeltaResponse, ETag header
 //	     If-None-Match / up-to-date -> 304 Not Modified
+//	     &wait=<duration>           -> long-poll: park until a publish
+//	                                   lands or the wait expires (304)
+//	     since ahead of registry    -> full DeltaResponse, Reset=true
 //	POST /v1/checkin                -> CheckinResponse
 //	GET  /v1/metrics                -> MetricsSnapshot
 //
@@ -42,6 +45,12 @@ type DeltaResponse struct {
 	// Complete reports whether this is the full registry content
 	// (Since == 0), as opposed to an incremental delta.
 	Complete bool
+	// Reset reports that the requested since was AHEAD of the registry
+	// — typically an agent that outlived a registry restarted without
+	// its write-ahead log. The payload is the full registry content and
+	// the client must adopt Version even though it is lower than the
+	// version it asked after.
+	Reset bool `json:",omitempty"`
 	// ETag is the vaccine.Pack digest of the payload, also sent as the
 	// HTTP ETag header.
 	ETag string

@@ -52,11 +52,34 @@ type hostState struct {
 // value of a single monotonic version counter, and host heartbeats are
 // tracked in a separately sharded table. All methods are safe for
 // concurrent use.
+//
+// A registry is in-memory by default; OpenRegistry (wal.go) attaches a
+// write-ahead log and snapshot so publishes survive process restart
+// with the monotonic version history intact.
 type Registry struct {
 	shards    []regShard
 	hostTab   []hostShard
 	version   atomic.Uint64
 	generator atomic.Pointer[string]
+
+	// notify is the publish broadcaster: long-poll sync requests park
+	// on it and wake the instant a publish lands (see notify.go).
+	notify *notifier
+
+	// wal, when non-nil, is the durability layer: Publish appends each
+	// accepted vaccine to it and returns only once the records are
+	// fsynced (see wal.go). recovery summarises the boot-time replay.
+	wal      *wal
+	recovery RecoveryStats
+
+	// CompactEvery triggers a snapshot compaction once this many WAL
+	// records have accumulated since the last snapshot (0 means
+	// DefaultCompactEvery). Set it before serving; it is read by
+	// Publish without synchronisation.
+	CompactEvery int
+
+	// compactMu serialises snapshot compactions.
+	compactMu sync.Mutex
 
 	// analysisMu guards analysis, the accumulated corpus-analysis
 	// statistics of every pack published with them.
@@ -76,7 +99,11 @@ func NewRegistry(shards int) *Registry {
 	for n < shards {
 		n <<= 1
 	}
-	r := &Registry{shards: make([]regShard, n), hostTab: make([]hostShard, n)}
+	r := &Registry{
+		shards:  make([]regShard, n),
+		hostTab: make([]hostShard, n),
+		notify:  newNotifier(),
+	}
 	for i := range r.shards {
 		r.shards[i].byID = make(map[string]regEntry)
 		r.hostTab[i].hosts = make(map[string]hostState)
@@ -141,15 +168,24 @@ func (r *Registry) Analysis() (vaccine.AnalysisStats, bool) {
 // addition to record validation every vaccine must pass the static
 // slice verifier (VerifyReplayable): a vaccine whose replay slice
 // could loop, fault, or touch host resources is refused.
+// When the registry is persistent (OpenRegistry), every stored vaccine
+// is appended to the write-ahead log and Publish returns only after the
+// records are fsynced; concurrent publishers share one fsync (group
+// commit). Long-poll waiters are woken only after durability, so no
+// agent can observe a version that a crash could take back.
 func (r *Registry) Publish(vs ...vaccine.Vaccine) (uint64, int, error) {
 	stored := 0
+	var batch []walRecord
+	var pubErr error
 	for i := range vs {
 		v := vs[i]
 		if err := v.Validate(); err != nil {
-			return r.version.Load(), stored, fmt.Errorf("fleet: publish: %w", err)
+			pubErr = fmt.Errorf("fleet: publish: %w", err)
+			break
 		}
 		if err := v.VerifyReplayable(); err != nil {
-			return r.version.Load(), stored, fmt.Errorf("fleet: publish: %w", err)
+			pubErr = fmt.Errorf("fleet: publish: %w", err)
+			break
 		}
 		fp := v.Fingerprint()
 		s := r.shardFor(v.ID)
@@ -163,8 +199,22 @@ func (r *Registry) Publish(vs ...vaccine.Vaccine) (uint64, int, error) {
 		s.version = ver
 		s.mu.Unlock()
 		stored++
+		if r.wal != nil {
+			batch = append(batch, walRecord{Version: ver, Vaccine: v})
+		}
 	}
-	return r.version.Load(), stored, nil
+	// Vaccines stored before a mid-batch rejection must still reach
+	// the log and the waiters: the error reports the bad vaccine, not
+	// a rollback.
+	if len(batch) > 0 {
+		if err := r.logBatch(batch); err != nil && pubErr == nil {
+			pubErr = err
+		}
+	}
+	if stored > 0 {
+		r.notify.wake()
+	}
+	return r.version.Load(), stored, pubErr
 }
 
 // Latest returns the registry's latest publish version.
@@ -182,36 +232,65 @@ func (r *Registry) Count() int {
 	return n
 }
 
+// deltaScanHook, when set, runs after Delta's shard scan and before
+// the response is assembled. The regression test for the torn version
+// fence uses it to publish mid-read at the exact point where the old
+// code (which loaded the version counter *after* the scan) produced a
+// Version covering vaccines the body omitted.
+var deltaScanHook func()
+
 // Delta returns every vaccine published after the given version,
 // ordered by ascending version, with the pack digest the server uses
 // as the sync ETag. since=0 yields the complete registry content.
+//
+// Consistency: the version fence is captured BEFORE the shard scan and
+// the response contains exactly the vaccines whose latest version lies
+// in (since, fence]. Capturing the fence after the scan instead was the
+// delta-sync lost-update race: a publish landing in an already-scanned
+// shard mid-read advanced the reported Version past a vaccine the body
+// did not contain, so agents adopted that Version and never fetched the
+// vaccine. With the fence first, a mid-scan publish is assigned a
+// version above the fence and is excluded from both the body and the
+// Version — the next poll picks it up. (An entry replaced mid-scan to a
+// version above the fence drops out of this delta entirely; its
+// replacement, being newer than the reported Version, is fetched next
+// poll, so convergence to the latest content is never lost.)
 func (r *Registry) Delta(since uint64) *DeltaResponse {
+	fence := r.version.Load()
 	var entries []regEntry
 	for i := range r.shards {
 		s := &r.shards[i]
 		s.mu.RLock()
 		if s.version > since {
 			for _, e := range s.byID {
-				if e.version > since {
+				if e.version > since && e.version <= fence {
 					entries = append(entries, e)
 				}
 			}
 		}
 		s.mu.RUnlock()
 	}
+	if deltaScanHook != nil {
+		deltaScanHook()
+	}
 	sort.Slice(entries, func(i, j int) bool { return entries[i].version < entries[j].version })
 	d := &DeltaResponse{
 		Since:     since,
-		Version:   r.version.Load(),
+		Version:   fence,
 		Complete:  since == 0,
 		Generator: r.Generator(),
 		Vaccines:  make([]vaccine.Vaccine, len(entries)),
 	}
+	fps := make([]string, len(entries))
 	for i := range entries {
 		d.Vaccines[i] = entries[i].v
+		fps[i] = entries[i].fp
 	}
-	p := vaccine.Pack{Generator: d.Generator, Vaccines: d.Vaccines}
-	d.ETag = p.Digest()
+	// The fingerprints were computed at publish time; digesting them
+	// directly skips one JSON marshal + SHA-256 per vaccine per delta,
+	// which the long-poll thundering herd (every parked agent fetching
+	// the same delta at once) turns into a hot path.
+	d.ETag = vaccine.DigestFingerprints(d.Generator, fps)
 	return d
 }
 
@@ -238,8 +317,9 @@ type FleetStatus struct {
 	// Converged counts active hosts whose applied version matches the
 	// registry's latest.
 	Converged int
-	// MinVersion is the lowest applied version among active hosts
-	// (0 when no host is active).
+	// MinVersion is the lowest applied version among active hosts,
+	// including hosts legitimately at version 0; it is meaningful only
+	// when ActiveHosts > 0.
 	MinVersion uint64
 	// Installed, Inspected, and Intercepted aggregate the active
 	// hosts' daemon counters.
@@ -253,6 +333,7 @@ type FleetStatus struct {
 func (r *Registry) Fleet(window time.Duration, now time.Time) FleetStatus {
 	latest := r.version.Load()
 	var st FleetStatus
+	seen := false
 	cutoff := now.Add(-window)
 	for i := range r.hostTab {
 		s := &r.hostTab[i]
@@ -265,8 +346,12 @@ func (r *Registry) Fleet(window time.Duration, now time.Time) FleetStatus {
 			if h.version == latest {
 				st.Converged++
 			}
-			if st.MinVersion == 0 || h.version < st.MinVersion {
+			// seen, not a zero sentinel: a fresh host legitimately
+			// reports version 0, and treating 0 as "unset" skipped it
+			// and reported a later host's version as the minimum.
+			if !seen || h.version < st.MinVersion {
 				st.MinVersion = h.version
+				seen = true
 			}
 			st.Installed += h.installed
 			st.Inspected += h.inspected

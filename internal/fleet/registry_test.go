@@ -237,6 +237,136 @@ func TestConcurrentRegistryAccess(t *testing.T) {
 	}
 }
 
+// TestDeltaVersionFenceRegression deterministically trips the delta
+// lost-update race: deltaScanHook publishes a vaccine between Delta's
+// shard scan and its response assembly. The old code loaded the version
+// counter *after* the scan, so the response claimed Version 9 while the
+// body held 8 vaccines — an agent adopting that Version never fetched
+// the ninth. The fence-first code excludes the mid-scan publish from
+// both the Version and the body.
+func TestDeltaVersionFenceRegression(t *testing.T) {
+	r := NewRegistry(4)
+	if _, _, err := r.Publish(testVaccines("fence", 8)...); err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	deltaScanHook = func() {
+		once.Do(func() {
+			if _, _, err := r.Publish(staticVaccine("fence/late/0", "FENCE-LATE-0001")); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	defer func() { deltaScanHook = nil }()
+
+	d := r.Delta(0)
+	if len(d.Vaccines) != int(d.Version) {
+		t.Fatalf("torn delta: Version %d but %d vaccines — an agent adopting this Version would never fetch the gap",
+			d.Version, len(d.Vaccines))
+	}
+	if d.Version != 8 {
+		t.Fatalf("fence = %d, want 8 (mid-scan publish must be excluded)", d.Version)
+	}
+	// The excluded publish is not lost: the next poll picks it up.
+	next := r.Delta(d.Version)
+	if len(next.Vaccines) != 1 || next.Vaccines[0].ID != "fence/late/0" {
+		t.Fatalf("follow-up delta missed the mid-scan publish: %+v", next.Vaccines)
+	}
+}
+
+// TestDeltaConcurrentPublishLinearizability races publishers of
+// distinct-ID vaccines against delta readers and asserts the
+// linearizability invariant on every read: with distinct IDs the
+// version stream is dense, so a delta since s with Version v must carry
+// exactly v-s vaccines — one per version in (s, v]. A torn fence shows
+// up as a body shorter than the version range it claims. Run under
+// -race.
+func TestDeltaConcurrentPublishLinearizability(t *testing.T) {
+	const publishers, perWorker, readers = 8, 40, 8
+	r := NewRegistry(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := staticVaccine(
+					fmt.Sprintf("lin%d/mutex/%d", p, i),
+					fmt.Sprintf("LIN%d-MARKER-%d", p, i))
+				if _, _, err := r.Publish(v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			since := uint64(g)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				d := r.Delta(since)
+				if d.Version >= since && len(d.Vaccines) != int(d.Version-since) {
+					t.Errorf("reader %d: delta since %d claims Version %d but carries %d vaccines",
+						g, since, d.Version, len(d.Vaccines))
+					return
+				}
+			}
+		}(g)
+	}
+	// Publishers finish first; then release the readers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for r.Latest() < publishers*perWorker {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+}
+
+// TestFleetMinVersionIncludesZero pins the MinVersion sentinel fix: a
+// fresh host legitimately heartbeats version 0, and the old zero-means-
+// unset logic skipped it, reporting a later host's version as the
+// fleet minimum.
+func TestFleetMinVersionIncludesZero(t *testing.T) {
+	cases := []struct {
+		name     string
+		versions []uint64
+		want     uint64
+	}{
+		{"fresh-host-at-zero", []uint64{3, 0, 2}, 0},
+		{"single-zero", []uint64{0}, 0},
+		{"all-nonzero", []uint64{3, 2, 7}, 2},
+		{"single-host", []uint64{5}, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := NewRegistry(0)
+			now := time.Now()
+			for i, v := range tc.versions {
+				r.Checkin(CheckinRequest{Host: fmt.Sprintf("MIN-%d", i), Version: v}, now)
+			}
+			st := r.Fleet(time.Minute, now)
+			if st.ActiveHosts != len(tc.versions) {
+				t.Fatalf("active %d, want %d", st.ActiveHosts, len(tc.versions))
+			}
+			if st.MinVersion != tc.want {
+				t.Fatalf("MinVersion %d, want %d", st.MinVersion, tc.want)
+			}
+		})
+	}
+}
+
 func TestShardRoundingAndSkip(t *testing.T) {
 	r := NewRegistry(5) // rounds up to 8
 	if len(r.shards) != 8 {

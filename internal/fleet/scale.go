@@ -1,0 +1,360 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+	"autovac/internal/vaccine"
+	"autovac/internal/winenv"
+)
+
+// Control-plane scale simulation: how fast does a publish reach N
+// hosts, and what does the transport cost? Unlike Simulate (which runs
+// full agents with real host environments and deploy daemons over a
+// loopback listener), this harness strips each host to the sync loop
+// itself — version cursor, ETag, HTTP exchange — and runs the exchanges
+// over an in-process transport that invokes the server handler
+// directly. No TCP, no file descriptors, no daemons: the per-host cost
+// is one goroutine, so fleets of 100k–1M hosts fit in one process and
+// the measurement isolates the control plane (registry, handler,
+// long-poll broadcaster) instead of the emulation stack.
+
+// ControlPlaneConfig configures SimulateControlPlane.
+type ControlPlaneConfig struct {
+	// Hosts is the number of simulated sync agents (default 1000).
+	Hosts int
+	// Waves is the number of publishes measured (default 3). Each wave
+	// is published only after every host converged on the previous one.
+	Waves int
+	// VaccinesPerWave is the publish batch size (default 1).
+	VaccinesPerWave int
+	// PollInterval is the plain-polling cadence (default 200ms). Each
+	// agent polls at this fixed interval from a random initial phase.
+	PollInterval time.Duration
+	// LongPoll, when > 0, switches every agent to long-polling with
+	// this wait instead of interval polling.
+	LongPoll time.Duration
+	// Seed drives the per-agent phase jitter.
+	Seed uint64
+	// ConvergeTimeout bounds one wave's convergence (default 60s);
+	// exceeding it fails the simulation — the control plane is wedged.
+	ConvergeTimeout time.Duration
+}
+
+// ControlPlaneResult is the outcome of one control-plane simulation.
+type ControlPlaneResult struct {
+	// Hosts and Waves echo the configuration; LongPoll records the
+	// measured mode.
+	Hosts, Waves int
+	LongPoll     bool
+	// ConvergeTime is the worst wave's convergence time: publish until
+	// the last host applied it.
+	ConvergeTime time.Duration
+	// WaveConverge is the per-wave convergence time.
+	WaveConverge []time.Duration
+	// SyncP50 and SyncP99 are quantiles of per-host sync latency
+	// (publish until that host applied the delta), across all waves.
+	SyncP50, SyncP99 time.Duration
+	// Requests counts every HTTP exchange the fleet performed.
+	Requests uint64
+	// BytesOnWire estimates the transport cost of those exchanges:
+	// request line and headers, status line and response headers, and
+	// bodies — what the same traffic would put on a TCP wire. (The
+	// in-process transport never serialises HTTP framing, so this is
+	// reconstructed from the request/response objects.)
+	BytesOnWire uint64
+	// Deltas and NotModified count 200 and 304 pack responses.
+	Deltas, NotModified uint64
+	// Server is the server's final metrics snapshot (/v1/metrics).
+	Server MetricsSnapshot
+}
+
+// memTransport invokes an http.Handler in the caller's goroutine — the
+// in-process equivalent of a TCP round trip. A long-poll request parks
+// the calling goroutine inside the handler, exactly like a parked
+// connection, without a second goroutine or a socket.
+type memTransport struct {
+	h http.Handler
+}
+
+func (t *memTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	resp := rec.Result()
+	resp.Request = req
+	return resp, nil
+}
+
+// wireBytes estimates the on-wire size of one HTTP exchange: request
+// line + headers, status line + headers, and the response body.
+func wireBytes(req *http.Request, resp *http.Response, body int) uint64 {
+	n := len(req.Method) + 1 + len(req.URL.RequestURI()) + len(" HTTP/1.1\r\n") + 2
+	for k, vs := range req.Header {
+		for _, v := range vs {
+			n += len(k) + 2 + len(v) + 2
+		}
+	}
+	n += len("HTTP/1.1 ") + len(resp.Status) + 2 + 2
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			n += len(k) + 2 + len(v) + 2
+		}
+	}
+	return uint64(n + body)
+}
+
+// liteAgent is one simulated host's sync state. The cursor fields and
+// counters are owned by the agent's goroutine; appliedVer/applyNanos
+// are the cross-goroutine convergence signal the publisher reads.
+type liteAgent struct {
+	client  *http.Client
+	baseURL string
+	waitArg string // pre-rendered "&wait=..." (empty = plain poll)
+	rng     *rand.Rand
+
+	version uint64
+	etag    string
+
+	requests, bytes     uint64
+	deltas, notModified uint64
+	errors              uint64
+	applyNanos          atomic.Int64
+	appliedVer          atomic.Uint64
+}
+
+// fetch performs one pack exchange and applies the result to the
+// cursor. Install is a no-op — the measurement is the control plane,
+// not the deploy daemon.
+func (a *liteAgent) fetch(ctx context.Context) error {
+	url := fmt.Sprintf("%s%s?since=%d%s", a.baseURL, PathPacks, a.version, a.waitArg)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if a.etag != "" {
+		req.Header.Set("If-None-Match", a.etag)
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	a.requests++
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		a.notModified++
+		a.bytes += wireBytes(req, resp, 0)
+	case http.StatusOK:
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		a.bytes += wireBytes(req, resp, len(body))
+		var delta DeltaResponse
+		if err := json.Unmarshal(body, &delta); err != nil {
+			return err
+		}
+		a.deltas++
+		a.version = delta.Version
+		a.etag = `"` + delta.ETag + `"`
+		a.applyNanos.Store(time.Now().UnixNano())
+		a.appliedVer.Store(delta.Version)
+	default:
+		a.errors++
+	}
+	return nil
+}
+
+// run drives one agent until cancellation: long-polling back to back
+// (the park happens server-side), or plain polling at the configured
+// cadence from a random initial phase.
+func (a *liteAgent) run(ctx context.Context, interval time.Duration) {
+	if a.waitArg != "" {
+		for ctx.Err() == nil {
+			if err := a.fetch(ctx); err != nil {
+				return // transport errors here are context cancellation
+			}
+		}
+		return
+	}
+	timer := time.NewTimer(time.Duration(a.rng.Int63n(int64(interval))))
+	defer timer.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-timer.C:
+		}
+		if err := a.fetch(ctx); err != nil {
+			return
+		}
+		timer.Reset(interval)
+	}
+}
+
+// controlPlaneVaccine builds the minimal valid static vaccine the
+// scale harness publishes; distinct identifiers keep every publish a
+// real version bump.
+func controlPlaneVaccine(wave, i int) vaccine.Vaccine {
+	return vaccine.Vaccine{
+		ID:         fmt.Sprintf("cp/w%d/mutex/%d", wave, i),
+		Sample:     "controlplane",
+		Resource:   winenv.KindMutex,
+		Identifier: fmt.Sprintf("CP-W%02d-MARKER-%04d", wave, i),
+		Class:      determinism.Static,
+		Op:         "create",
+		API:        "CreateMutexA",
+		Effect:     impact.Full,
+		Polarity:   vaccine.SimulatePresence,
+		Delivery:   vaccine.DirectInjection,
+	}
+}
+
+// SimulateControlPlane measures vaccine distribution at fleet scale:
+// it publishes cfg.Waves packs into a fresh registry and, for each,
+// measures how long the full fleet takes to observe it, the per-host
+// sync latency distribution, and the transport bytes spent — under
+// plain polling or long-poll streaming. The harness is wall-clock
+// honest: agents really poll (or really park) and the publisher only
+// advances when every host's applied version has caught up.
+func SimulateControlPlane(ctx context.Context, cfg ControlPlaneConfig) (*ControlPlaneResult, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 1000
+	}
+	if cfg.Waves <= 0 {
+		cfg.Waves = 3
+	}
+	if cfg.VaccinesPerWave <= 0 {
+		cfg.VaccinesPerWave = 1
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 200 * time.Millisecond
+	}
+	if cfg.ConvergeTimeout <= 0 {
+		cfg.ConvergeTimeout = 60 * time.Second
+	}
+
+	reg := NewRegistry(0)
+	reg.SetGenerator("controlplane")
+	srv := NewServer(reg)
+	client := &http.Client{Transport: &memTransport{h: srv.Handler()}}
+
+	waitArg := ""
+	if cfg.LongPoll > 0 {
+		waitArg = "&wait=" + cfg.LongPoll.String()
+	}
+	agents := make([]*liteAgent, cfg.Hosts)
+	for i := range agents {
+		agents[i] = &liteAgent{
+			client:  client,
+			baseURL: "http://controlplane.sim",
+			waitArg: waitArg,
+			rng:     rand.New(rand.NewSource(int64(cfg.Seed) + int64(i))),
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var agentPanic atomic.Pointer[string]
+	for _, a := range agents {
+		wg.Add(1)
+		go func(a *liteAgent) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					msg := fmt.Sprintf("fleet: control-plane agent panic: %v\n%s", r, debug.Stack())
+					agentPanic.CompareAndSwap(nil, &msg)
+					cancel()
+				}
+			}()
+			a.run(runCtx, cfg.PollInterval)
+		}(a)
+	}
+
+	res := &ControlPlaneResult{Hosts: cfg.Hosts, Waves: cfg.Waves, LongPoll: cfg.LongPoll > 0}
+	var hist latencyHist
+	remaining := make([]int, 0, cfg.Hosts)
+	for wave := 0; wave < cfg.Waves; wave++ {
+		vs := make([]vaccine.Vaccine, cfg.VaccinesPerWave)
+		for i := range vs {
+			vs[i] = controlPlaneVaccine(wave, i)
+		}
+		target, _, err := reg.Publish(vs...)
+		if err != nil {
+			cancel()
+			wg.Wait()
+			return nil, err
+		}
+		t0 := time.Now()
+		t0n := t0.UnixNano()
+		remaining = remaining[:0]
+		for i := range agents {
+			remaining = append(remaining, i)
+		}
+		waveMax := time.Duration(0)
+		for len(remaining) > 0 {
+			if p := agentPanic.Load(); p != nil {
+				wg.Wait()
+				return nil, fmt.Errorf("%s", *p)
+			}
+			if time.Since(t0) > cfg.ConvergeTimeout {
+				cancel()
+				wg.Wait()
+				return nil, fmt.Errorf("fleet: control plane stalled: %d/%d hosts short of version %d after %v",
+					len(remaining), cfg.Hosts, target, cfg.ConvergeTimeout)
+			}
+			keep := remaining[:0]
+			for _, idx := range remaining {
+				a := agents[idx]
+				if a.appliedVer.Load() >= target {
+					lat := time.Duration(a.applyNanos.Load() - t0n)
+					if lat < 0 {
+						lat = 0
+					}
+					hist.observe(lat)
+					if lat > waveMax {
+						waveMax = lat
+					}
+					continue
+				}
+				keep = append(keep, idx)
+			}
+			remaining = keep
+			if len(remaining) > 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		res.WaveConverge = append(res.WaveConverge, waveMax)
+		if waveMax > res.ConvergeTime {
+			res.ConvergeTime = waveMax
+		}
+	}
+	cancel()
+	wg.Wait()
+	if p := agentPanic.Load(); p != nil {
+		return nil, fmt.Errorf("%s", *p)
+	}
+
+	for _, a := range agents {
+		res.Requests += a.requests
+		res.BytesOnWire += a.bytes
+		res.Deltas += a.deltas
+		res.NotModified += a.notModified
+	}
+	res.SyncP50 = hist.quantile(0.50)
+	res.SyncP99 = hist.quantile(0.99)
+	res.Server = srv.MetricsSnapshot()
+	return res, nil
+}

@@ -1,0 +1,81 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSimulateControlPlanePollVsLongPoll runs the distribution race at
+// test scale and pins the streaming claim: long-poll converges faster
+// than interval polling — publish latency instead of poll latency —
+// and its per-host sync quantiles sit below the poller's.
+func TestSimulateControlPlanePollVsLongPoll(t *testing.T) {
+	ctx := context.Background()
+	base := ControlPlaneConfig{
+		Hosts:           64,
+		Waves:           2,
+		PollInterval:    250 * time.Millisecond,
+		Seed:            7,
+		ConvergeTimeout: 30 * time.Second,
+	}
+	poll, err := SimulateControlPlane(ctx, base)
+	if err != nil {
+		t.Fatalf("poll mode: %v", err)
+	}
+	lp := base
+	lp.LongPoll = 10 * time.Second
+	stream, err := SimulateControlPlane(ctx, lp)
+	if err != nil {
+		t.Fatalf("long-poll mode: %v", err)
+	}
+
+	want := uint64(base.Hosts * base.Waves)
+	for _, r := range []*ControlPlaneResult{poll, stream} {
+		if len(r.WaveConverge) != base.Waves {
+			t.Fatalf("%d waves measured, want %d", len(r.WaveConverge), base.Waves)
+		}
+		// The convergence barrier between waves makes deltas countable:
+		// every host fetches every wave's delta exactly once, plus (in
+		// poll mode) at most one explicit empty delta per host from a
+		// poll that raced ahead of the first publish.
+		if r.Deltas < want || r.Deltas > want+uint64(base.Hosts) {
+			t.Fatalf("longpoll=%v: %d deltas, want %d..%d", r.LongPoll, r.Deltas, want, want+uint64(base.Hosts))
+		}
+		if r.Requests < r.Deltas || r.BytesOnWire == 0 {
+			t.Fatalf("longpoll=%v: implausible counters %+v", r.LongPoll, r)
+		}
+	}
+	if stream.Deltas != want {
+		t.Fatalf("streaming fleet served %d deltas, want exactly %d", stream.Deltas, want)
+	}
+	if !stream.LongPoll || poll.LongPoll {
+		t.Fatalf("mode flags wrong: poll %v stream %v", poll.LongPoll, stream.LongPoll)
+	}
+	if stream.Server.LongPolls == 0 {
+		t.Fatal("streaming fleet never registered a long poll on the server")
+	}
+	if stream.ConvergeTime >= poll.ConvergeTime {
+		t.Fatalf("long-poll convergence %v not below polling %v",
+			stream.ConvergeTime, poll.ConvergeTime)
+	}
+	if stream.SyncP99 > poll.SyncP99 {
+		t.Fatalf("long-poll p99 %v above polling p99 %v", stream.SyncP99, poll.SyncP99)
+	}
+}
+
+// TestSimulateControlPlaneCancel ensures a cancelled context tears the
+// fleet down instead of wedging on the convergence barrier.
+func TestSimulateControlPlaneCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SimulateControlPlane(ctx, ControlPlaneConfig{
+		Hosts:           8,
+		Waves:           1,
+		PollInterval:    50 * time.Millisecond,
+		ConvergeTimeout: 300 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("cancelled simulation reported convergence")
+	}
+}

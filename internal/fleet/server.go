@@ -2,11 +2,13 @@ package fleet
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
-	"fmt"
 	"net/http"
 	"strconv"
 	"time"
+
+	"autovac/internal/vaccine"
 )
 
 // DefaultActiveWindow is how recently a host must have checked in to
@@ -16,6 +18,12 @@ const DefaultActiveWindow = 2 * time.Minute
 // checkinBodyLimit bounds heartbeat bodies; a CheckinRequest is a few
 // hundred bytes.
 const checkinBodyLimit = 1 << 16
+
+// MaxLongPollWait caps the wait= parameter on GET /v1/packs: however
+// long the client asks to park, the server answers (with a 304 if
+// nothing was published) within this bound, so parked requests cannot
+// outlive proxies' idle timeouts or pile up across agent restarts.
+const MaxLongPollWait = 60 * time.Second
 
 // Server serves the sync protocol for one registry.
 type Server struct {
@@ -102,9 +110,19 @@ func instrument(m *Metrics, next http.Handler) http.Handler {
 	})
 }
 
-// handlePacks serves GET /v1/packs?since=<version>: the delta of
-// vaccines published after <version>, or 304 when the client is
-// already current (by version or by ETag).
+// handlePacks serves GET /v1/packs?since=<version>[&wait=<duration>]:
+// the delta of vaccines published after <version>, or 304 when the
+// client is already current (by version or by ETag).
+//
+// With wait > 0 an up-to-date request long-polls: it parks on the
+// registry's publish broadcaster and the delta fires the instant a
+// publish lands, or a 304 when the wait (capped at MaxLongPollWait)
+// expires. Plain polls (no wait) keep the exact ETag/304 behaviour.
+//
+// A since AHEAD of the registry — an agent that outlived a registry
+// restarted without its WAL — is answered with the full content marked
+// Reset, so the agent rebases on the live version line instead of
+// polling 304s forever against versions that no longer exist.
 func (s *Server) handlePacks(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -119,16 +137,73 @@ func (s *Server) handlePacks(w http.ResponseWriter, r *http.Request) {
 		}
 		since = v
 	}
+	wait := time.Duration(0)
+	if raw := r.URL.Query().Get("wait"); raw != "" {
+		d, err := time.ParseDuration(raw)
+		if err != nil || d < 0 {
+			http.Error(w, "bad wait", http.StatusBadRequest)
+			return
+		}
+		if d > MaxLongPollWait {
+			d = MaxLongPollWait
+		}
+		wait = d
+	}
+
 	latest := s.reg.Latest()
-	if since >= latest && latest > 0 {
+	if since > latest {
+		delta := s.reg.Delta(0)
+		delta.Reset = true
+		s.metrics.resyncs.Add(1)
+		s.writeDelta(w, r, delta)
+		return
+	}
+	if wait > 0 && since == latest {
+		s.metrics.longPolls.Add(1)
+		latest = s.waitForPublish(r.Context(), since, wait)
+	}
+	if since == latest && (latest > 0 || wait > 0) {
 		// Nothing published past the client's version: cheap 304
-		// without materialising a delta.
-		w.Header().Set("ETag", fmt.Sprintf(`"v%d"`, latest))
+		// without scanning the shards. The ETag is the digest of the
+		// empty delta this request would otherwise carry — the same
+		// vocabulary as full responses, so intermediary caches see one
+		// validator form for the resource. (A since=0 plain poll of an
+		// empty registry still falls through to serve the explicit
+		// empty Complete delta.)
+		p := vaccine.Pack{Generator: s.reg.Generator()}
+		w.Header().Set("ETag", `"`+p.Digest()+`"`)
 		w.WriteHeader(http.StatusNotModified)
 		s.metrics.notModified.Add(1)
 		return
 	}
-	delta := s.reg.Delta(since)
+	s.writeDelta(w, r, s.reg.Delta(since))
+}
+
+// waitForPublish parks until a version past since is published, the
+// wait expires, or the client goes away, returning the latest version
+// on exit. The broadcaster channel is grabbed before re-reading the
+// version, so a publish landing in between cannot be missed.
+func (s *Server) waitForPublish(ctx context.Context, since uint64, wait time.Duration) uint64 {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		ch := s.reg.notify.wait()
+		if latest := s.reg.Latest(); latest > since {
+			return latest
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return s.reg.Latest()
+		case <-ctx.Done():
+			return s.reg.Latest()
+		}
+	}
+}
+
+// writeDelta emits one DeltaResponse with its ETag, honouring
+// If-None-Match.
+func (s *Server) writeDelta(w http.ResponseWriter, r *http.Request, delta *DeltaResponse) {
 	etag := `"` + delta.ETag + `"`
 	w.Header().Set("ETag", etag)
 	if r.Header.Get("If-None-Match") == etag {

@@ -143,6 +143,127 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// getDeltaWait issues a long-poll pack request.
+func getDeltaWait(t *testing.T, base, since, wait string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(base + PathPacks + "?since=" + since + "&wait=" + wait)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// TestPacksLongPollWakesOnPublish parks a long-poll request and
+// publishes mid-wait: the delta must fire at publish time, not at the
+// wait deadline.
+func TestPacksLongPollWakesOnPublish(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("lp", 2)...)
+
+	published := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		srv.Registry().Publish(testVaccines("lp-late", 1)...)
+		close(published)
+	}()
+
+	start := time.Now()
+	resp := getDeltaWait(t, ts.URL, "2", "10s")
+	elapsed := time.Since(start)
+	<-published
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("long-poll status %d, want 200", resp.StatusCode)
+	}
+	var d DeltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(d.Vaccines) != 1 || d.Version != 3 {
+		t.Fatalf("woken delta: %d vaccines, version %d; want 1, 3", len(d.Vaccines), d.Version)
+	}
+	if elapsed >= 5*time.Second {
+		t.Fatalf("long-poll took %v — it slept to the deadline instead of waking on publish", elapsed)
+	}
+	if snap := srv.MetricsSnapshot(); snap.LongPolls != 1 {
+		t.Fatalf("long-poll counter %d, want 1", snap.LongPolls)
+	}
+}
+
+// TestPacksLongPollTimeout304 lets the wait expire: the park must end
+// in a 304 with a valid ETag, same as a plain up-to-date poll.
+func TestPacksLongPollTimeout304(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("lpt", 2)...)
+
+	start := time.Now()
+	resp := getDeltaWait(t, ts.URL, "2", "60ms")
+	elapsed := time.Since(start)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("expired long-poll status %d, want 304", resp.StatusCode)
+	}
+	if elapsed < 60*time.Millisecond {
+		t.Fatalf("long-poll returned after %v, before the 60ms wait", elapsed)
+	}
+	if resp.Header.Get("ETag") == "" {
+		t.Fatal("expired long-poll 304 carries no ETag")
+	}
+
+	// A malformed wait is a client error, not a park.
+	resp = getDeltaWait(t, ts.URL, "2", "bogus")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad wait status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestPacksResyncAheadOfRegistry pins the agent-ahead-of-restarted-
+// registry recovery: a since beyond the registry's latest must be
+// answered with the full content marked Reset — not the 304-forever
+// wedge the old short-circuit produced.
+func TestPacksResyncAheadOfRegistry(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("rs", 3)...)
+
+	resp := getDelta(t, ts.URL, "99", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ahead-of-registry status %d, want 200", resp.StatusCode)
+	}
+	var d DeltaResponse
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !d.Reset || !d.Complete || d.Version != 3 || len(d.Vaccines) != 3 {
+		t.Fatalf("resync delta: reset %v complete %v version %d vaccines %d",
+			d.Reset, d.Complete, d.Version, len(d.Vaccines))
+	}
+	if snap := srv.MetricsSnapshot(); snap.Resyncs != 1 {
+		t.Fatalf("resync counter %d, want 1", snap.Resyncs)
+	}
+}
+
+// TestCheap304ETagMatchesDeltaDigest pins the validator unification:
+// the up-to-date fast path must emit the same ETag the equivalent
+// (empty) delta response would carry — pack-digest form, not the old
+// "v<version>" counter form that gave one resource two validator
+// vocabularies.
+func TestCheap304ETagMatchesDeltaDigest(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(testVaccines("et", 3)...)
+
+	resp := getDelta(t, ts.URL, "3", "")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("up-to-date status %d, want 304", resp.StatusCode)
+	}
+	want := `"` + srv.Registry().Delta(3).ETag + `"`
+	if got := resp.Header.Get("ETag"); got != want {
+		t.Fatalf("cheap-304 ETag %s, want delta digest %s", got, want)
+	}
+}
+
 func TestLatencyHistogramQuantiles(t *testing.T) {
 	var h latencyHist
 	for i := 0; i < 99; i++ {

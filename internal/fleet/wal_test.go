@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// openTestRegistry opens a persistent registry in dir, failing the
+// test on error.
+func openTestRegistry(t *testing.T, dir string) *Registry {
+	t.Helper()
+	r, err := OpenRegistry(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// walSegments lists the state dir's WAL segment files, sorted.
+func walSegments(t *testing.T, dir string) []string {
+	t.Helper()
+	segs, err := filepath.Glob(filepath.Join(dir, walSegmentGlob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(segs)
+	return segs
+}
+
+func TestWALReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestRegistry(t, dir)
+	if !r.Persistent() {
+		t.Fatal("OpenRegistry returned a non-persistent registry")
+	}
+	if _, _, err := r.Publish(testVaccines("wal", 12)...); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Delta(0)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openTestRegistry(t, dir)
+	defer r2.Close()
+	if r2.Latest() != 12 || r2.Count() != 12 {
+		t.Fatalf("reboot state: version %d count %d, want 12/12", r2.Latest(), r2.Count())
+	}
+	after := r2.Delta(0)
+	if after.ETag != before.ETag {
+		t.Fatalf("reboot digest %s != pre-crash digest %s", after.ETag, before.ETag)
+	}
+	rec := r2.Recovery()
+	if rec.Records != 12 || rec.TruncatedBytes != 0 {
+		t.Fatalf("recovery stats %+v, want 12 records, 0 truncated", rec)
+	}
+	// Versions keep counting from where they stopped: an agent's cursor
+	// is never ahead of a properly restarted registry.
+	if _, _, err := r2.Publish(staticVaccine("wal/post/0", "WAL-POST-0001")); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Latest() != 13 {
+		t.Fatalf("post-reboot publish got version %d, want 13", r2.Latest())
+	}
+}
+
+func TestWALReplayKeepsLatestVersionPerID(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestRegistry(t, dir)
+	vs := testVaccines("up", 4)
+	if _, _, err := r.Publish(vs...); err != nil {
+		t.Fatal(err)
+	}
+	vs[1].Identifier = "up-CHANGED"
+	if ver, stored, err := r.Publish(vs...); err != nil || stored != 1 || ver != 5 {
+		t.Fatalf("update publish: version %d stored %d err %v", ver, stored, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openTestRegistry(t, dir)
+	defer r2.Close()
+	if r2.Latest() != 5 || r2.Count() != 4 {
+		t.Fatalf("reboot state: version %d count %d, want 5/4", r2.Latest(), r2.Count())
+	}
+	d := r2.Delta(4)
+	if len(d.Vaccines) != 1 || d.Vaccines[0].Identifier != "up-CHANGED" {
+		t.Fatalf("replay lost the in-place update: %+v", d.Vaccines)
+	}
+}
+
+// TestWALTornTailTruncated simulates a crash mid-append: garbage after
+// the last durable frame must be cut off at reopen, recovering exactly
+// the durable prefix.
+func TestWALTornTailTruncated(t *testing.T) {
+	cases := []struct {
+		name string
+		tail []byte
+	}{
+		// A few bytes of a frame header that never finished.
+		{"partial-header", []byte{0xde, 0xad, 0xbe}},
+		// A complete-looking frame whose checksum is wrong.
+		{"bad-crc", []byte{4, 0, 0, 0, 0, 0, 0, 0, 'j', 'u', 'n', 'k'}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			r := openTestRegistry(t, dir)
+			if _, _, err := r.Publish(testVaccines("torn", 6)...); err != nil {
+				t.Fatal(err)
+			}
+			before := r.Delta(0)
+			if err := r.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			segs := walSegments(t, dir)
+			if len(segs) == 0 {
+				t.Fatal("no WAL segments on disk")
+			}
+			last := segs[len(segs)-1]
+			f, err := os.OpenFile(last, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(tc.tail); err != nil {
+				t.Fatal(err)
+			}
+			f.Close()
+			torn, err := os.Stat(last)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			r2 := openTestRegistry(t, dir)
+			defer r2.Close()
+			rec := r2.Recovery()
+			if rec.TruncatedBytes != int64(len(tc.tail)) {
+				t.Fatalf("truncated %d bytes, want %d", rec.TruncatedBytes, len(tc.tail))
+			}
+			if r2.Latest() != 6 || r2.Delta(0).ETag != before.ETag {
+				t.Fatalf("torn-tail reboot: version %d digest %s, want 6 / %s",
+					r2.Latest(), r2.Delta(0).ETag, before.ETag)
+			}
+			// The file itself was cut back to its durable prefix.
+			clean, err := os.Stat(last)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if clean.Size() != torn.Size()-int64(len(tc.tail)) {
+				t.Fatalf("segment still %d bytes, want %d", clean.Size(), torn.Size()-int64(len(tc.tail)))
+			}
+		})
+	}
+}
+
+// TestWALCompaction drives the snapshot path: once CompactEvery records
+// accumulate, Publish compacts — the registry content lands in
+// snapshot.json, the sealed segments are deleted, and a reboot loads
+// the snapshot instead of replaying the full history.
+func TestWALCompaction(t *testing.T) {
+	dir := t.TempDir()
+	r := openTestRegistry(t, dir)
+	r.CompactEvery = 8
+	r.SetGenerator("compact-test")
+	if _, _, err := r.Publish(testVaccines("cmp", 20)...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("no snapshot after %d publishes with CompactEvery=8: %v", 20, err)
+	}
+	if segs := walSegments(t, dir); len(segs) != 1 {
+		t.Fatalf("sealed segments not deleted: %v", segs)
+	}
+	before := r.Delta(0)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openTestRegistry(t, dir)
+	defer r2.Close()
+	rec := r2.Recovery()
+	if rec.SnapshotVersion != 20 {
+		t.Fatalf("snapshot version %d, want 20", rec.SnapshotVersion)
+	}
+	if rec.Records != 0 {
+		t.Fatalf("replayed %d WAL records past the snapshot, want 0", rec.Records)
+	}
+	if r2.Latest() != 20 || r2.Delta(0).ETag != before.ETag {
+		t.Fatalf("post-compaction reboot: version %d, digest match %v",
+			r2.Latest(), r2.Delta(0).ETag == before.ETag)
+	}
+	if r2.Generator() != "compact-test" {
+		t.Fatalf("generator %q not restored from snapshot", r2.Generator())
+	}
+	if _, _, err := r2.Publish(testVaccines("cmp2", 3)...); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Latest() != 23 {
+		t.Fatalf("post-reboot version %d, want 23", r2.Latest())
+	}
+}
+
+// TestWALConcurrentPublish exercises the group-commit path under -race:
+// many publishers share fsyncs, and nothing is lost across a reboot.
+func TestWALConcurrentPublish(t *testing.T) {
+	const publishers, perWorker = 8, 10
+	dir := t.TempDir()
+	r := openTestRegistry(t, dir)
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v := staticVaccine(
+					fmt.Sprintf("gc%d/mutex/%d", p, i),
+					fmt.Sprintf("GC%d-MARKER-%d", p, i))
+				if _, _, err := r.Publish(v); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	const want = publishers * perWorker
+	if r.Latest() != want {
+		t.Fatalf("version %d, want %d", r.Latest(), want)
+	}
+	before := r.Delta(0)
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := openTestRegistry(t, dir)
+	defer r2.Close()
+	if r2.Latest() != want || r2.Count() != want {
+		t.Fatalf("reboot lost updates: version %d count %d, want %d", r2.Latest(), r2.Count(), want)
+	}
+	if r2.Delta(0).ETag != before.ETag {
+		t.Fatal("reboot digest differs after concurrent publishes")
+	}
+}
+
+func TestOpenRegistryRejectsEmptyDir(t *testing.T) {
+	if _, err := OpenRegistry("", 0); err == nil {
+		t.Fatal("OpenRegistry(\"\") must fail")
+	}
+}

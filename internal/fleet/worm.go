@@ -58,7 +58,9 @@ type WormResult struct {
 	Attempts int
 	// Repelled counts attempts the target survived (worm stood down).
 	Repelled int
-	// Immunized counts hosts that installed the vaccine pack.
+	// Immunized counts hosts that were still clean when the vaccine
+	// pack landed on them — the hosts the sync actually protected.
+	// Already-infected hosts receive the pack too but are not counted.
 	Immunized int
 	// RegistryVersion is the fleet registry's final version.
 	RegistryVersion uint64
@@ -142,7 +144,13 @@ func SimulateWorm(cfg WormConfig) (*WormResult, error) {
 			delta := reg.Delta(0)
 			for _, h := range hosts {
 				h.daemon.InstallPack(delta.Vaccines)
-				res.Immunized++
+				// Only a clean host is immunized by the install; an
+				// already-infected host gets the pack but stays
+				// infected (vaccines immunize, they don't disinfect),
+				// and counting it overstated the epidemic tables.
+				if !h.infected {
+					res.Immunized++
+				}
 			}
 		}
 

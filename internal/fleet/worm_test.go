@@ -102,8 +102,10 @@ func TestSimulateWormVaccinatedConvergesBelowControl(t *testing.T) {
 	if err != nil {
 		t.Fatalf("immediate sync: %v", err)
 	}
-	if immediate.Immunized != 32 {
-		t.Errorf("immunized = %d, want 32", immediate.Immunized)
+	// Patient zero is already infected when the pack lands, so only the
+	// 31 clean hosts count as immunized.
+	if immediate.Immunized != 31 {
+		t.Errorf("immunized = %d, want 31", immediate.Immunized)
 	}
 	// Vaccines land before the first attack wave: nobody beyond patient
 	// zero gets infected.

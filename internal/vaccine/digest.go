@@ -36,9 +36,18 @@ func (p *Pack) Digest() string {
 	for i := range p.Vaccines {
 		fps[i] = p.Vaccines[i].Fingerprint()
 	}
+	return DigestFingerprints(p.Generator, fps)
+}
+
+// DigestFingerprints computes the pack digest from already-computed
+// vaccine fingerprints: identical to building a Pack and calling
+// Digest, minus the per-vaccine marshal+hash. Callers that cache
+// fingerprints at publish time (the fleet registry) use it on the
+// delta-serving hot path. The fps slice is sorted in place.
+func DigestFingerprints(generator string, fps []string) string {
 	sort.Strings(fps)
 	h := sha256.New()
-	h.Write([]byte(p.Generator))
+	h.Write([]byte(generator))
 	h.Write([]byte{0})
 	for _, fp := range fps {
 		h.Write([]byte(fp))
