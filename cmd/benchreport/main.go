@@ -8,6 +8,8 @@
 //	benchreport -table 4 -n 400
 //	benchreport -figure 3 -n 400
 //	benchreport -phase1 -n 400
+//	benchreport -controlplane -hosts 100000            # direct fan-out study
+//	benchreport -controlplane -hosts 1000000 -relays 32 # two-tier relay study
 package main
 
 import (
@@ -44,8 +46,10 @@ func run(args []string) error {
 		prefil = fs.Bool("prefilter", false, "run the static pre-filter study (prefilter on vs off)")
 		triage = fs.Bool("triage", false, "run the Phase-0 triage study (static API-surface recovery on vs off)")
 		epidem = fs.Bool("epidemic", false, "run the killswitch-worm vs vaccine-sync epidemic race")
-		cplane = fs.Bool("controlplane", false, "run the fleet-scale poll vs long-poll distribution study")
+		cplane = fs.Bool("controlplane", false, "run the fleet-scale distribution study (poll vs long-poll vs binary; -relays adds the edge tier)")
 		hosts  = fs.Int("hosts", 100000, "fleet size for -controlplane")
+		relays = fs.Int("relays", 0, "edge relay count for -controlplane (0 = direct origin fan-out)")
+		fout   = fs.String("fleetout", "BENCH_fleet.json", "machine-readable -controlplane output path")
 		all    = fs.Bool("all", false, "regenerate everything")
 		bdrCap = fs.Int("bdrcap", 10, "max vaccines measured per effect class for Figure 4")
 		bench  = fs.Bool("bench", false, "run the emulator bench trajectory and write -benchout")
@@ -56,23 +60,19 @@ func run(args []string) error {
 	}
 	if *bench {
 		// The bench trajectory builds its own fixtures; skip the corpus
-		// setup the report paths need.
-		return runBench(*bout)
+		// setup the report paths need. The fleet codec rows ride along,
+		// reported against the committed BENCH_fleet.json baselines.
+		if err := runBench(*bout); err != nil {
+			return err
+		}
+		return runFleetCodecBench(*fout)
 	}
 	if *cplane {
 		// The control-plane study builds its own in-process fleet; skip
 		// the corpus setup the report paths need. It is never part of
 		// -all: at the default 100k hosts it is a multi-second wall-clock
 		// measurement that would distort the report timings around it.
-		rep, err := experiment.RunControlPlane(context.Background(), experiment.ControlPlaneConfig{
-			Hosts: *hosts,
-			Seed:  uint64(*seed),
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Println(experiment.RenderControlPlane(rep))
-		return nil
+		return runFleetBench(context.Background(), *hosts, *relays, *seed, *fout)
 	}
 	if !*all && *table == 0 && *figure == 0 && !*phase1 && !*fptest && !*timing && !*evade && !*ablate && !*prefil && !*triage && !*epidem {
 		*all = true

@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"testing"
+)
 
 func TestSingleTable(t *testing.T) {
 	if err := run([]string{"-table", "2", "-n", "30"}); err != nil {
@@ -61,6 +64,24 @@ func TestTable1Flag(t *testing.T) {
 
 func TestTriageFlag(t *testing.T) {
 	if err := run([]string{"-triage", "-n", "20"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControlPlaneFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("codec benchmarks + fleet study in short mode")
+	}
+	out := t.TempDir() + "/BENCH_fleet.json"
+	if err := run([]string{"-controlplane", "-hosts", "64", "-relays", "2", "-fleetout", out}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("BENCH_fleet.json not written: %v", err)
+	}
+	// The -bench fleet section consumes the committed baseline; point it
+	// at the file just written to exercise the comparison path.
+	if err := runFleetCodecBench(out); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -7,6 +7,7 @@
 //	autovac -corpus 60 -out pack.json
 //	vacserver -addr 127.0.0.1:8377 -pack pack.json
 //	vacserver -addr 127.0.0.1:8377 -state-dir /var/lib/vacserver
+//	vacserver -addr 127.0.0.1:8378 -upstream http://127.0.0.1:8377
 //	vacdaemon -server http://127.0.0.1:8377
 //
 // Endpoints: GET /v1/packs?since=<version> (delta sync, ETag/304;
@@ -16,6 +17,13 @@
 // snapshots compact it, and a restart replays the state so agents
 // resume from their cursors. SIGINT/SIGTERM drain in-flight requests
 // and print a final stats line before exit.
+//
+// With -upstream the server runs as an edge relay instead of an
+// origin: it long-polls the upstream vacserver for binary deltas,
+// mirrors the origin's version line exactly, and serves the identical
+// /v1/packs surface downstream — agents point at the relay and cannot
+// tell the difference. Relay mode is incompatible with -pack and
+// -state-dir (the mirror is rebuilt from upstream on start).
 package main
 
 import (
@@ -60,9 +68,16 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr st
 		shards    = fs.Int("shards", fleet.DefaultShards, "registry shard count")
 		generator = fs.String("generator", "autovac", "generator label echoed in sync responses")
 		stateDir  = fs.String("state-dir", "", "durable state directory (WAL + snapshots); empty = in-memory only")
+		upstream  = fs.String("upstream", "", "run as an edge relay of this upstream vacserver URL")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *upstream != "" {
+		if *packs != "" || *stateDir != "" {
+			return errors.New("-upstream (relay mode) is incompatible with -pack and -state-dir")
+		}
+		return runRelay(ctx, *addr, *upstream, *shards, out, onReady)
 	}
 
 	var reg *fleet.Registry
@@ -127,6 +142,57 @@ func run(ctx context.Context, args []string, out io.Writer, onReady func(addr st
 		snap.Requests, snap.DeltasServed, snap.NotModified, snap.Checkins,
 		snap.Errors, snap.BytesServed, snap.ActiveHosts, snap.Converged,
 		snap.P50Micros, snap.P99Micros)
+	return nil
+}
+
+// runRelay serves the relay mode: mirror the upstream, serve the sync
+// protocol downstream, drain on cancellation.
+func runRelay(ctx context.Context, addr, upstream string, shards int, out io.Writer, onReady func(addr string)) error {
+	rl, err := fleet.NewRelay(fleet.RelayConfig{Upstream: upstream, Shards: shards})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "vacserver: relaying %s on http://%s\n", upstream, ln.Addr())
+	if onReady != nil {
+		onReady(ln.Addr().String())
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	syncDone := make(chan struct{})
+	go func() { defer close(syncDone); rl.Run(runCtx) }()
+
+	hs := &http.Server{Handler: rl.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		cancel()
+		<-syncDone
+		return err
+	case <-ctx.Done():
+	}
+	cancel()
+	<-syncDone
+	sctx, scancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer scancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := rl.Stats()
+	snap := rl.Server().MetricsSnapshot()
+	fmt.Fprintf(out,
+		"vacserver: relay final stats: mirrored_version=%d upstream_syncs=%d upstream_deltas=%d upstream_errors=%d resyncs=%d served_requests=%d served_deltas=%d cache_hits=%d\n",
+		rl.Version(), st.Syncs, st.Deltas, st.Errors, st.Resyncs,
+		snap.Requests, snap.DeltasServed, snap.EncodeCacheHits)
 	return nil
 }
 

@@ -224,6 +224,85 @@ func TestStateDirSurvivesRestart(t *testing.T) {
 	}
 }
 
+// TestRelayModeServesUpstream chains a relay vacserver behind an
+// origin vacserver and checks the downstream surface is the origin's:
+// same delta content, working 304s, and a relay final-stats line.
+func TestRelayModeServesUpstream(t *testing.T) {
+	pack := writePack(t, 5)
+	originOut := &lockedBuffer{}
+	originBase, originShutdown := bootServer(t, originOut,
+		"-addr", "127.0.0.1:0", "-pack", pack)
+	defer originShutdown()
+
+	relayOut := &lockedBuffer{}
+	relayBase, relayShutdown := bootServer(t, relayOut,
+		"-addr", "127.0.0.1:0", "-upstream", originBase)
+
+	// The relay mirrors asynchronously; poll until its delta matches
+	// the origin's.
+	var originDelta, relayDelta fleet.DeltaResponse
+	resp, err := http.Get(originBase + fleet.PathPacks + "?since=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&originDelta); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(relayBase + fleet.PathPacks + "?since=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&relayDelta)
+		resp.Body.Close()
+		if err == nil && relayDelta.ETag == originDelta.ETag && relayDelta.Version == originDelta.Version {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("relay never mirrored origin: relay %+v vs origin etag=%s v=%d",
+				relayDelta, originDelta.ETag, originDelta.Version)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(relayDelta.Vaccines) != 5 {
+		t.Fatalf("relay served %d vaccines, want 5", len(relayDelta.Vaccines))
+	}
+
+	// A converged client gets the 304 fast path off the relay.
+	req, _ := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s%s?since=%d", relayBase, fleet.PathPacks, relayDelta.Version), nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("converged client got %d off the relay, want 304", resp.StatusCode)
+	}
+
+	relayShutdown()
+	got := relayOut.String()
+	for _, want := range []string{"relaying " + originBase, "relay final stats", "mirrored_version=5"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("relay output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRelayModeRejectsOriginFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-upstream", "http://127.0.0.1:1", "-pack", "x.json"},
+		{"-upstream", "http://127.0.0.1:1", "-state-dir", "/tmp/x"},
+	} {
+		err := run(context.Background(), args, &bytes.Buffer{}, nil)
+		if err == nil || !strings.Contains(err.Error(), "incompatible") {
+			t.Fatalf("args %v: err %v, want incompatibility error", args, err)
+		}
+	}
+}
+
 func TestRunRejectsMissingPack(t *testing.T) {
 	err := run(context.Background(), []string{"-pack", "/nonexistent/pack.json"}, &bytes.Buffer{}, nil)
 	if err == nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"strings"
@@ -13,9 +14,14 @@ import (
 	"autovac/internal/winenv"
 )
 
-// Agent defaults.
+// Agent defaults. The retry budget is deliberately deeper than any
+// periodic fault a lossy path is likely to inject: with the server's
+// encode cache answering a woken herd in near-lockstep, a budget equal
+// to a fault period can resonate with it (every attempt of one agent
+// landing on the faulting slot) and burn out on a fault rate the
+// backoff would otherwise absorb.
 const (
-	DefaultMaxRetries  = 4
+	DefaultMaxRetries  = 6
 	DefaultBaseBackoff = 25 * time.Millisecond
 	DefaultMaxBackoff  = 2 * time.Second
 )
@@ -34,6 +40,11 @@ type AgentConfig struct {
 	Seed uint64
 	// Client is the HTTP client (default http.DefaultClient).
 	Client *http.Client
+	// Binary, when set, negotiates the binary delta codec (Accept:
+	// application/x-autovac-delta). The server's Content-Type decides
+	// the decode on each response, so a JSON-only server (or a JSON
+	// intermediary cache) degrades transparently to the JSON protocol.
+	Binary bool
 	// MaxRetries bounds the retries of one failed sync round trip.
 	MaxRetries int
 	// BaseBackoff and MaxBackoff shape the jittered exponential
@@ -58,6 +69,11 @@ type AgentStats struct {
 	NotModified int
 	// Retries counts failed round trips that were retried.
 	Retries int
+	// DecodeErrors counts 200 pack responses whose body failed to
+	// decode or validate (truncated frame, wrong encoding, garbage from
+	// an intermediary). Each is a retryable sync error: the agent backs
+	// off and re-fetches rather than poisoning its cursor.
+	DecodeErrors int
 	// Applied, Skipped, and Failed total the daemon install results.
 	Applied int
 	Skipped int
@@ -213,6 +229,9 @@ func (a *Agent) fetch(ctx context.Context) (*DeltaResponse, error) {
 	if a.etag != "" {
 		req.Header.Set("If-None-Match", a.etag)
 	}
+	if a.cfg.Binary {
+		req.Header.Set("Accept", ContentTypeDelta)
+	}
 	resp, err := a.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -222,14 +241,60 @@ func (a *Agent) fetch(ctx context.Context) (*DeltaResponse, error) {
 	case http.StatusNotModified:
 		return nil, nil
 	case http.StatusOK:
-		var delta DeltaResponse
-		if err := json.NewDecoder(resp.Body).Decode(&delta); err != nil {
+		delta, err := a.decodeDelta(resp)
+		if err != nil {
+			a.stats.DecodeErrors++
 			return nil, fmt.Errorf("fleet: agent %s: decoding delta: %w", a.cfg.Host, err)
 		}
-		return &delta, nil
+		return delta, nil
 	default:
-		return nil, fmt.Errorf("fleet: agent %s: packs: %s", a.cfg.Host, resp.Status)
+		// Carry the first line of the error body: "500" alone cannot
+		// distinguish an origin encode failure from an injected fault or
+		// a relay refusing an upstream.
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 120))
+		return nil, fmt.Errorf("fleet: agent %s: packs: %s (%s)",
+			a.cfg.Host, resp.Status, strings.TrimSpace(string(snippet)))
 	}
+}
+
+// decodeDelta decodes one 200 pack body under the encoding the server
+// declared, then sanity-checks the frame against the request. Any
+// failure — truncated binary frame, JSON garbage, a delta answering a
+// different cursor — is a retryable sync error: the caller counts it
+// and backs off, and the agent's cursor and ETag are untouched, so the
+// next attempt re-fetches from known-good state.
+func (a *Agent) decodeDelta(resp *http.Response) (*DeltaResponse, error) {
+	var delta *DeltaResponse
+	if isBinaryDelta(resp.Header.Get("Content-Type")) {
+		body, err := io.ReadAll(io.LimitReader(resp.Body, maxDeltaPayload))
+		if err != nil {
+			return nil, err
+		}
+		if delta, err = DecodeDeltaBinary(body); err != nil {
+			return nil, err
+		}
+	} else {
+		delta = new(DeltaResponse)
+		if err := json.NewDecoder(resp.Body).Decode(delta); err != nil {
+			return nil, err
+		}
+	}
+	return delta, a.validateDelta(delta)
+}
+
+// validateDelta rejects structurally-decoded frames that cannot be the
+// answer to the request we made: a missing content digest, or a delta
+// cut after a cursor we never sent (a cache or relay serving someone
+// else's response). Reset deltas are exempt from the cursor check —
+// they rebase the agent by design.
+func (a *Agent) validateDelta(d *DeltaResponse) error {
+	if d.ETag == "" {
+		return fmt.Errorf("delta missing ETag")
+	}
+	if !d.Reset && d.Since != a.version {
+		return fmt.Errorf("delta for since=%d, requested %d", d.Since, a.version)
+	}
+	return nil
 }
 
 // checkin delivers one heartbeat.

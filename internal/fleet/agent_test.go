@@ -392,3 +392,117 @@ func TestAgentBackoffBounded(t *testing.T) {
 		})
 	}
 }
+
+// garbageFront answers every pack GET with 200 and an undecodable
+// body, under whichever Content-Type the request negotiated.
+type garbageFront struct{ binary bool }
+
+func (g *garbageFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.binary {
+		w.Header().Set("Content-Type", ContentTypeDelta)
+		w.Write([]byte("AVD1\x00\x01")) // truncated frame
+		return
+	}
+	w.Header().Set("Content-Type", ContentTypeJSON)
+	w.Write([]byte(`{"Version": 99, "Vacc`)) // torn JSON body
+}
+
+// TestAgentMalformedDeltaIsRetryable pins the decode-hardening
+// contract for both encodings: a 200 with a malformed body must behave
+// like a failed round trip — counted in DecodeErrors, retried with
+// backoff, cursor untouched — never as a cursor advance. (A torn JSON
+// body carrying a parsed-before-the-tear Version used to be the risk.)
+func TestAgentMalformedDeltaIsRetryable(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		binary bool
+	}{{"json", false}, {"binary", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			ts := httptest.NewServer(&garbageFront{binary: tc.binary})
+			defer ts.Close()
+			a := newTestAgent(ts, "AGENT-PC-GB")
+			a.cfg.Binary = tc.binary
+			if _, err := a.SyncOnce(context.Background()); err == nil {
+				t.Fatal("sync succeeded on a malformed body")
+			}
+			st := a.Stats()
+			if st.DecodeErrors != DefaultMaxRetries+1 {
+				t.Fatalf("DecodeErrors %d, want %d (initial + each retry)",
+					st.DecodeErrors, DefaultMaxRetries+1)
+			}
+			if st.Retries != DefaultMaxRetries {
+				t.Fatalf("retries %d, want %d", st.Retries, DefaultMaxRetries)
+			}
+			if a.Version() != 0 || st.Deltas != 0 {
+				t.Fatalf("malformed body moved the cursor: version %d, stats %+v", a.Version(), st)
+			}
+		})
+	}
+}
+
+// wrongCursorFront serves a real delta but for a cursor nobody asked
+// about — the shape of a misbehaving cache or relay.
+type wrongCursorFront struct{ srv *Server }
+
+func (f *wrongCursorFront) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == PathPacks {
+		q := r.URL.Query()
+		q.Set("since", "7")
+		r.URL.RawQuery = q.Encode()
+	}
+	f.srv.Handler().ServeHTTP(w, r)
+}
+
+func TestAgentRejectsDeltaForWrongCursor(t *testing.T) {
+	srv := NewServer(NewRegistry(0))
+	srv.Registry().Publish(testVaccines("wc", 9)...)
+	ts := httptest.NewServer(&wrongCursorFront{srv: srv})
+	defer ts.Close()
+	a := newTestAgent(ts, "AGENT-PC-WC")
+	if _, err := a.SyncOnce(context.Background()); err == nil {
+		t.Fatal("agent accepted a delta answering a different cursor")
+	}
+	if st := a.Stats(); st.DecodeErrors == 0 || a.Version() != 0 {
+		t.Fatalf("wrong-cursor delta not rejected: version %d, stats %+v", a.Version(), st)
+	}
+}
+
+// TestAgentBinarySyncEndToEnd runs the full agent loop — fetch,
+// install through the deploy daemon, heartbeat — over the binary
+// codec against a real server, including the incremental delta and the
+// 304 steady state.
+func TestAgentBinarySyncEndToEnd(t *testing.T) {
+	srv, ts := newTestServer(t)
+	srv.Registry().Publish(analyzedPack(t)...)
+	id := winenv.DefaultIdentity()
+	id.ComputerName = "AGENT-PC-BIN"
+	a := NewAgent(AgentConfig{
+		BaseURL: ts.URL,
+		Env:     winenv.New(id),
+		Seed:    42,
+		Binary:  true,
+	})
+	ctx := context.Background()
+	applied, err := a.SyncOnce(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied == 0 || a.Version() != srv.Registry().Latest() {
+		t.Fatalf("binary sync applied %d at version %d (latest %d)",
+			applied, a.Version(), srv.Registry().Latest())
+	}
+	srv.Registry().Publish(testVaccines("bin2", 3)...)
+	if applied, err = a.SyncOnce(ctx); err != nil || applied != 3 {
+		t.Fatalf("binary incremental sync applied %d, %v", applied, err)
+	}
+	if _, err := a.SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Deltas != 2 || st.NotModified != 1 || st.DecodeErrors != 0 {
+		t.Fatalf("binary agent stats %+v", st)
+	}
+	if snap := srv.MetricsSnapshot(); snap.BinaryDeltas != 2 {
+		t.Fatalf("server BinaryDeltas %d, want 2", snap.BinaryDeltas)
+	}
+}

@@ -55,15 +55,17 @@ func (h *latencyHist) quantile(q float64) time.Duration {
 // Metrics is the server's lock-free counter set. All fields are
 // updated atomically by the HTTP handlers.
 type Metrics struct {
-	requests    atomic.Uint64
-	deltas      atomic.Uint64
-	notModified atomic.Uint64
-	longPolls   atomic.Uint64
-	resyncs     atomic.Uint64
-	checkins    atomic.Uint64
-	errors      atomic.Uint64
-	bytesOut    atomic.Uint64
-	latency     latencyHist
+	requests     atomic.Uint64
+	deltas       atomic.Uint64
+	binaryDeltas atomic.Uint64
+	encodeHits   atomic.Uint64
+	notModified  atomic.Uint64
+	longPolls    atomic.Uint64
+	resyncs      atomic.Uint64
+	checkins     atomic.Uint64
+	errors       atomic.Uint64
+	bytesOut     atomic.Uint64
+	latency      latencyHist
 }
 
 // MetricsSnapshot is the JSON shape of GET /v1/metrics.
@@ -72,6 +74,12 @@ type MetricsSnapshot struct {
 	Requests uint64
 	// DeltasServed counts 200 responses on /v1/packs.
 	DeltasServed uint64
+	// BinaryDeltas counts the subset of DeltasServed encoded with the
+	// binary codec (Accept: application/x-autovac-delta).
+	BinaryDeltas uint64
+	// EncodeCacheHits counts pack responses served from the encoded
+	// delta cache instead of a fresh shard scan + encode.
+	EncodeCacheHits uint64
 	// NotModified counts 304 responses on /v1/packs.
 	NotModified uint64
 	// LongPolls counts pack requests that parked on the publish
@@ -106,15 +114,17 @@ type MetricsSnapshot struct {
 // snapshot captures the counters.
 func (m *Metrics) snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		Requests:     m.requests.Load(),
-		DeltasServed: m.deltas.Load(),
-		NotModified:  m.notModified.Load(),
-		LongPolls:    m.longPolls.Load(),
-		Resyncs:      m.resyncs.Load(),
-		Checkins:     m.checkins.Load(),
-		Errors:       m.errors.Load(),
-		BytesServed:  m.bytesOut.Load(),
-		P50Micros:    uint64(m.latency.quantile(0.50).Microseconds()),
-		P99Micros:    uint64(m.latency.quantile(0.99).Microseconds()),
+		Requests:        m.requests.Load(),
+		DeltasServed:    m.deltas.Load(),
+		BinaryDeltas:    m.binaryDeltas.Load(),
+		EncodeCacheHits: m.encodeHits.Load(),
+		NotModified:     m.notModified.Load(),
+		LongPolls:       m.longPolls.Load(),
+		Resyncs:         m.resyncs.Load(),
+		Checkins:        m.checkins.Load(),
+		Errors:          m.errors.Load(),
+		BytesServed:     m.bytesOut.Load(),
+		P50Micros:       uint64(m.latency.quantile(0.50).Microseconds()),
+		P99Micros:       uint64(m.latency.quantile(0.99).Microseconds()),
 	}
 }

@@ -58,6 +58,11 @@ type DeltaResponse struct {
 	Generator string `json:",omitempty"`
 	// Vaccines is the delta payload, ordered by ascending version.
 	Vaccines []vaccine.Vaccine
+	// Versions holds each vaccine's publish version, aligned with
+	// Vaccines. It rides only in the binary codec (never in JSON, so
+	// the JSON wire format is unchanged): relays need it to mirror the
+	// origin's version line exactly, ordinary agents ignore it.
+	Versions []uint64 `json:"-"`
 }
 
 // CheckinRequest is the body of POST /v1/checkin: a host heartbeat

@@ -220,6 +220,38 @@ func (r *Registry) Publish(vs ...vaccine.Vaccine) (uint64, int, error) {
 // Latest returns the registry's latest publish version.
 func (r *Registry) Latest() uint64 { return r.version.Load() }
 
+// ratchetVersion lifts the version counter to at least v without
+// publishing anything. Relays use it to adopt an upstream fence that
+// ran ahead of the highest record version (no-op republishes advance
+// the origin counter without new content).
+func (r *Registry) ratchetVersion(v uint64) {
+	for {
+		cur := r.version.Load()
+		if v <= cur || r.version.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// resetMirror drops every stored vaccine and rewinds the version
+// counter to zero. Only relays call it — when the upstream's version
+// line restarted below the mirror's, the mirror must rebase the same
+// way an agent does, and its own downstream agents then hit the
+// since-ahead-of-registry path and receive Reset deltas in turn.
+// Concurrent delta reads during the wipe see a transient partial or
+// empty registry; their clients converge on the next poll once the
+// upstream's content is re-applied.
+func (r *Registry) resetMirror() {
+	for i := range r.shards {
+		s := &r.shards[i]
+		s.mu.Lock()
+		clear(s.byID)
+		s.version = 0
+		s.mu.Unlock()
+	}
+	r.version.Store(0)
+}
+
 // Count returns the number of distinct vaccines stored.
 func (r *Registry) Count() int {
 	n := 0
@@ -280,10 +312,12 @@ func (r *Registry) Delta(since uint64) *DeltaResponse {
 		Complete:  since == 0,
 		Generator: r.Generator(),
 		Vaccines:  make([]vaccine.Vaccine, len(entries)),
+		Versions:  make([]uint64, len(entries)),
 	}
 	fps := make([]string, len(entries))
 	for i := range entries {
 		d.Vaccines[i] = entries[i].v
+		d.Versions[i] = entries[i].version
 		fps[i] = entries[i].fp
 	}
 	// The fingerprints were computed at publish time; digesting them

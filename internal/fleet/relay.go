@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Relay is a read-through edge node of the distribution tree: it
+// long-polls one upstream server (the origin, or another relay) for
+// binary deltas, mirrors the origin's exact version line into its own
+// in-memory Registry, and serves the full /v1/packs surface — ETags,
+// 304s, long-poll parking, Reset resync, the encode cache — to the
+// agents behind it through an ordinary Server. Agents cannot tell a
+// relay from the origin; the origin sees one long-poll client per
+// relay instead of one per agent, which is what lets the control plane
+// fan out to ~10^6 agents without the origin's request rate scaling
+// past the relay count.
+//
+// Version mirroring is exact, not re-issued: the binary delta codec
+// carries each vaccine's origin publish version (DeltaResponse.Versions)
+// and the relay applies them verbatim via the WAL replay path
+// (applyRecord), then ratchets its counter to the upstream fence. A
+// cursor an agent obtained from one relay therefore means the same
+// thing at every other relay and at the origin. The binary codec is
+// required upstream for this reason — JSON deltas do not carry the
+// version line — so a relay pointed at a pre-codec server fails fast
+// rather than mirroring wrongly.
+//
+// Reset propagation: when the upstream's version line restarts below
+// the relay's cursor (origin restarted without its WAL), the upstream
+// answers with a Reset delta; the relay wipes its mirror, re-applies
+// the upstream content, and its own downstream agents — now ahead of
+// the rewound mirror — hit the since-ahead-of-registry path on their
+// next poll and receive Reset deltas in turn. The rebase cascades down
+// the tree with no side channel.
+type Relay struct {
+	cfg RelayConfig
+	reg *Registry
+	srv *Server
+	rng *rand.Rand
+
+	// mu guards the upstream cursor and stats: SyncOnce runs on the
+	// relay's sync goroutine, Stats and Version may be read from
+	// anywhere.
+	mu      sync.Mutex
+	version uint64
+	etag    string
+	stats   RelayStats
+}
+
+// RelayConfig configures one relay node.
+type RelayConfig struct {
+	// Upstream is the upstream server's base URL, e.g.
+	// "http://origin:8377". Required.
+	Upstream string
+	// Client is the HTTP client for upstream fetches (default
+	// http.DefaultClient).
+	Client *http.Client
+	// LongPoll is how long each upstream fetch parks (&wait=); default
+	// MaxLongPollWait. The upstream caps it at its own MaxLongPollWait.
+	LongPoll time.Duration
+	// Shards is the mirror registry's shard count (0 = DefaultShards).
+	Shards int
+	// MaxRetries, BaseBackoff, and MaxBackoff shape the jittered
+	// exponential backoff after a failed upstream round trip, with the
+	// same defaults as AgentConfig.
+	MaxRetries  int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed feeds the backoff jitter.
+	Seed uint64
+}
+
+// RelayStats counts one relay's upstream sync activity.
+type RelayStats struct {
+	// Syncs counts completed upstream round trips (deltas and 304s).
+	Syncs int
+	// Deltas counts 200 upstream responses applied to the mirror;
+	// NotModified counts 304s (long-poll waits that expired quietly).
+	Deltas      int
+	NotModified int
+	// Resyncs counts upstream Reset rebases (mirror wiped and rebuilt).
+	Resyncs int
+	// Errors counts failed upstream round trips (after retries) that
+	// Run absorbed and retried.
+	Errors int
+}
+
+// NewRelay creates a relay mirroring the given upstream. Call Run to
+// start the sync loop and serve Handler to downstream agents.
+func NewRelay(cfg RelayConfig) (*Relay, error) {
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("fleet: relay: empty upstream URL")
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	if cfg.LongPoll <= 0 {
+		cfg.LongPoll = MaxLongPollWait
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = DefaultBaseBackoff
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = DefaultMaxBackoff
+	}
+	cfg.Upstream = strings.TrimRight(cfg.Upstream, "/")
+	reg := NewRegistry(cfg.Shards)
+	return &Relay{
+		cfg: cfg,
+		reg: reg,
+		srv: NewServer(reg),
+		rng: rand.New(rand.NewSource(int64(cfg.Seed) ^ int64(fnv32a(cfg.Upstream)))),
+	}, nil
+}
+
+// Handler returns the relay's downstream HTTP handler — the full sync
+// protocol served from the mirror.
+func (rl *Relay) Handler() http.Handler { return rl.srv.Handler() }
+
+// Server returns the relay's downstream server (for metrics).
+func (rl *Relay) Server() *Server { return rl.srv }
+
+// Registry returns the relay's mirror registry.
+func (rl *Relay) Registry() *Registry { return rl.reg }
+
+// Version returns the latest upstream version the relay has mirrored.
+func (rl *Relay) Version() uint64 {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.version
+}
+
+// Stats returns the relay's upstream sync counters.
+func (rl *Relay) Stats() RelayStats {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	return rl.stats
+}
+
+// SyncOnce performs one upstream round trip: long-poll the upstream
+// for a binary delta past the mirrored cursor and apply it. It returns
+// the number of vaccines applied (0 for a 304).
+func (rl *Relay) SyncOnce(ctx context.Context) (int, error) {
+	rl.mu.Lock()
+	since, etag := rl.version, rl.etag
+	rl.mu.Unlock()
+
+	url := fmt.Sprintf("%s%s?since=%d&wait=%s", rl.cfg.Upstream, PathPacks, since, rl.cfg.LongPoll)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Accept", ContentTypeDelta)
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := rl.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		rl.mu.Lock()
+		rl.stats.Syncs++
+		rl.stats.NotModified++
+		rl.mu.Unlock()
+		return 0, nil
+	case http.StatusOK:
+	default:
+		return 0, fmt.Errorf("fleet: relay: upstream packs: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !isBinaryDelta(ct) {
+		// A JSON delta has no per-vaccine version line to mirror;
+		// applying it would fork the version space. Refuse loudly.
+		return 0, fmt.Errorf("fleet: relay: upstream %s does not speak the binary delta codec (got %s)", rl.cfg.Upstream, ct)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxDeltaPayload))
+	if err != nil {
+		return 0, err
+	}
+	delta, err := DecodeDeltaBinary(body)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: relay: decoding upstream delta: %w", err)
+	}
+	return rl.applyDelta(delta)
+}
+
+// applyDelta mirrors one upstream delta into the local registry and
+// wakes the downstream long-pollers parked on it.
+func (rl *Relay) applyDelta(d *DeltaResponse) (int, error) {
+	if len(d.Versions) != len(d.Vaccines) {
+		return 0, fmt.Errorf("fleet: relay: delta carries %d versions for %d vaccines", len(d.Versions), len(d.Vaccines))
+	}
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	if d.Reset || d.Version < rl.version {
+		// Upstream's version line restarted below ours: rebase the
+		// mirror. Downstream agents, now ahead of it, get Reset deltas
+		// from our own server on their next poll.
+		rl.reg.resetMirror()
+		rl.stats.Resyncs++
+	}
+	for i := range d.Vaccines {
+		rl.reg.applyRecord(walRecord{Version: d.Versions[i], Vaccine: d.Vaccines[i]})
+	}
+	rl.reg.ratchetVersion(d.Version)
+	rl.reg.SetGenerator(d.Generator)
+	rl.version = d.Version
+	rl.etag = `"` + d.ETag + `"`
+	rl.stats.Syncs++
+	rl.stats.Deltas++
+	// Wake downstream parked long-pollers: the mirror moved.
+	rl.reg.notify.wake()
+	return len(d.Vaccines), nil
+}
+
+// Run long-polls the upstream until the context is cancelled. Upstream
+// failures are counted and retried with jittered exponential backoff;
+// success resets the backoff and re-polls immediately (the park
+// happens server-side).
+func (rl *Relay) Run(ctx context.Context) error {
+	fails := 0
+	for ctx.Err() == nil {
+		if _, err := rl.SyncOnce(ctx); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			rl.mu.Lock()
+			rl.stats.Errors++
+			rl.mu.Unlock()
+			d := rl.cfg.BaseBackoff << uint(fails)
+			if d > rl.cfg.MaxBackoff || d <= 0 {
+				d = rl.cfg.MaxBackoff
+			}
+			if fails < rl.cfg.MaxRetries {
+				fails++
+			}
+			d = jitteredInterval(rl.rng, d)
+			if d > rl.cfg.MaxBackoff {
+				d = rl.cfg.MaxBackoff
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil
+			case <-t.C:
+			}
+			continue
+		}
+		fails = 0
+	}
+	return nil
+}

@@ -45,6 +45,16 @@ type ControlPlaneConfig struct {
 	// LongPoll, when > 0, switches every agent to long-polling with
 	// this wait instead of interval polling.
 	LongPoll time.Duration
+	// Relays, when > 0, inserts a tier of that many read-through edge
+	// relays between the origin and the agents: each relay long-polls
+	// the origin for binary deltas and serves its share of the fleet
+	// (round-robin) from its mirror. With Relays == 0 every agent talks
+	// to the origin directly.
+	Relays int
+	// Binary makes the agents negotiate the binary delta codec
+	// (Accept: application/x-autovac-delta); relays always use it
+	// upstream regardless.
+	Binary bool
 	// Seed drives the per-agent phase jitter.
 	Seed uint64
 	// ConvergeTimeout bounds one wave's convergence (default 60s);
@@ -54,10 +64,12 @@ type ControlPlaneConfig struct {
 
 // ControlPlaneResult is the outcome of one control-plane simulation.
 type ControlPlaneResult struct {
-	// Hosts and Waves echo the configuration; LongPoll records the
-	// measured mode.
+	// Hosts and Waves echo the configuration; LongPoll, Relays, and
+	// Binary record the measured mode.
 	Hosts, Waves int
 	LongPoll     bool
+	Relays       int
+	Binary       bool
 	// ConvergeTime is the worst wave's convergence time: publish until
 	// the last host applied it.
 	ConvergeTime time.Duration
@@ -74,9 +86,17 @@ type ControlPlaneResult struct {
 	// in-process transport never serialises HTTP framing, so this is
 	// reconstructed from the request/response objects.)
 	BytesOnWire uint64
-	// Deltas and NotModified count 200 and 304 pack responses.
+	// Deltas and NotModified count 200 and 304 pack responses seen by
+	// agents; DecodeErrors counts malformed delta bodies they survived.
 	Deltas, NotModified uint64
-	// Server is the server's final metrics snapshot (/v1/metrics).
+	DecodeErrors        uint64
+	// OriginRequests counts HTTP requests the origin served. With a
+	// relay tier it scales with the relay count, not the agent count —
+	// the point of the tier. EdgeRequests totals the relay servers'
+	// request counts (agent traffic absorbed at the edge).
+	OriginRequests uint64
+	EdgeRequests   uint64
+	// Server is the origin server's final metrics snapshot.
 	Server MetricsSnapshot
 }
 
@@ -97,7 +117,14 @@ func (t *memTransport) RoundTrip(req *http.Request) (*http.Response, error) {
 }
 
 // wireBytes estimates the on-wire size of one HTTP exchange: request
-// line + headers, status line + headers, and the response body.
+// line + headers, status line + headers, and the response body. The
+// framing is reconstructed from the actual headers of this exchange —
+// whatever Content-Type/Content-Encoding the server negotiated rides
+// at its real size, so codec savings are not misreported by assuming
+// JSON framing. Headers a real server would add but the in-process
+// handler did not (Content-Length on a body-carrying response, Date)
+// are synthesized at representative size, identically for every
+// encoding.
 func wireBytes(req *http.Request, resp *http.Response, body int) uint64 {
 	n := len(req.Method) + 1 + len(req.URL.RequestURI()) + len(" HTTP/1.1\r\n") + 2
 	for k, vs := range req.Header {
@@ -111,6 +138,10 @@ func wireBytes(req *http.Request, resp *http.Response, body int) uint64 {
 			n += len(k) + 2 + len(v) + 2
 		}
 	}
+	if body > 0 && resp.Header.Get("Content-Length") == "" {
+		n += len("Content-Length: ") + len(fmt.Sprint(body)) + 2
+	}
+	n += len("Date: Mon, 02 Jan 2006 15:04:05 GMT") + 2
 	return uint64(n + body)
 }
 
@@ -121,6 +152,7 @@ type liteAgent struct {
 	client  *http.Client
 	baseURL string
 	waitArg string // pre-rendered "&wait=..." (empty = plain poll)
+	binary  bool
 	rng     *rand.Rand
 
 	version uint64
@@ -128,7 +160,7 @@ type liteAgent struct {
 
 	requests, bytes     uint64
 	deltas, notModified uint64
-	errors              uint64
+	errors, decodeErrs  uint64
 	applyNanos          atomic.Int64
 	appliedVer          atomic.Uint64
 }
@@ -144,6 +176,9 @@ func (a *liteAgent) fetch(ctx context.Context) error {
 	}
 	if a.etag != "" {
 		req.Header.Set("If-None-Match", a.etag)
+	}
+	if a.binary {
+		req.Header.Set("Accept", ContentTypeDelta)
 	}
 	resp, err := a.client.Do(req)
 	if err != nil {
@@ -161,9 +196,19 @@ func (a *liteAgent) fetch(ctx context.Context) error {
 			return err
 		}
 		a.bytes += wireBytes(req, resp, len(body))
-		var delta DeltaResponse
-		if err := json.Unmarshal(body, &delta); err != nil {
-			return err
+		// Decode under the encoding the server declared, like the real
+		// agent. A malformed body is a retryable condition, not a crash:
+		// count it and leave the cursor where it was.
+		var delta *DeltaResponse
+		if isBinaryDelta(resp.Header.Get("Content-Type")) {
+			delta, err = DecodeDeltaBinary(body)
+		} else {
+			delta = new(DeltaResponse)
+			err = json.Unmarshal(body, delta)
+		}
+		if err != nil {
+			a.decodeErrs++
+			return nil
 		}
 		a.deltas++
 		a.version = delta.Version
@@ -248,7 +293,46 @@ func SimulateControlPlane(ctx context.Context, cfg ControlPlaneConfig) (*Control
 	reg := NewRegistry(0)
 	reg.SetGenerator("controlplane")
 	srv := NewServer(reg)
-	client := &http.Client{Transport: &memTransport{h: srv.Handler()}}
+	originClient := &http.Client{Transport: &memTransport{h: srv.Handler()}}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	var agentPanic atomic.Pointer[string]
+
+	// With a relay tier, agents talk to their relay's in-process
+	// handler; the origin sees only the relays' long-poll clients.
+	relays := make([]*Relay, cfg.Relays)
+	downstream := []*http.Client{originClient}
+	if cfg.Relays > 0 {
+		downstream = downstream[:0]
+		for i := range relays {
+			rl, err := NewRelay(RelayConfig{
+				Upstream: "http://origin.sim",
+				Client:   originClient,
+				Seed:     cfg.Seed + uint64(i)*7919,
+			})
+			if err != nil {
+				cancel()
+				wg.Wait()
+				return nil, err
+			}
+			relays[i] = rl
+			downstream = append(downstream, &http.Client{Transport: &memTransport{h: rl.Handler()}})
+			wg.Add(1)
+			go func(rl *Relay) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						msg := fmt.Sprintf("fleet: control-plane relay panic: %v\n%s", r, debug.Stack())
+						agentPanic.CompareAndSwap(nil, &msg)
+						cancel()
+					}
+				}()
+				rl.Run(runCtx)
+			}(rl)
+		}
+	}
 
 	waitArg := ""
 	if cfg.LongPoll > 0 {
@@ -257,17 +341,13 @@ func SimulateControlPlane(ctx context.Context, cfg ControlPlaneConfig) (*Control
 	agents := make([]*liteAgent, cfg.Hosts)
 	for i := range agents {
 		agents[i] = &liteAgent{
-			client:  client,
+			client:  downstream[i%len(downstream)],
 			baseURL: "http://controlplane.sim",
 			waitArg: waitArg,
+			binary:  cfg.Binary,
 			rng:     rand.New(rand.NewSource(int64(cfg.Seed) + int64(i))),
 		}
 	}
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	var wg sync.WaitGroup
-	var agentPanic atomic.Pointer[string]
 	for _, a := range agents {
 		wg.Add(1)
 		go func(a *liteAgent) {
@@ -283,7 +363,10 @@ func SimulateControlPlane(ctx context.Context, cfg ControlPlaneConfig) (*Control
 		}(a)
 	}
 
-	res := &ControlPlaneResult{Hosts: cfg.Hosts, Waves: cfg.Waves, LongPoll: cfg.LongPoll > 0}
+	res := &ControlPlaneResult{
+		Hosts: cfg.Hosts, Waves: cfg.Waves,
+		LongPoll: cfg.LongPoll > 0, Relays: cfg.Relays, Binary: cfg.Binary,
+	}
 	var hist latencyHist
 	remaining := make([]int, 0, cfg.Hosts)
 	for wave := 0; wave < cfg.Waves; wave++ {
@@ -352,9 +435,14 @@ func SimulateControlPlane(ctx context.Context, cfg ControlPlaneConfig) (*Control
 		res.BytesOnWire += a.bytes
 		res.Deltas += a.deltas
 		res.NotModified += a.notModified
+		res.DecodeErrors += a.decodeErrs
 	}
 	res.SyncP50 = hist.quantile(0.50)
 	res.SyncP99 = hist.quantile(0.99)
 	res.Server = srv.MetricsSnapshot()
+	res.OriginRequests = res.Server.Requests
+	for _, rl := range relays {
+		res.EdgeRequests += rl.Server().MetricsSnapshot().Requests
+	}
 	return res, nil
 }

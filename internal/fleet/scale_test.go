@@ -79,3 +79,86 @@ func TestSimulateControlPlaneCancel(t *testing.T) {
 		t.Fatal("cancelled simulation reported convergence")
 	}
 }
+
+// TestSimulateControlPlaneRelayTier runs the two-tier topology at test
+// scale and pins the fan-out claim: every agent converges through its
+// relay, the origin's request count scales with the relay count (not
+// the agent count), and the binary codec puts fewer bytes on the wire
+// than JSON for the same traffic.
+func TestSimulateControlPlaneRelayTier(t *testing.T) {
+	ctx := context.Background()
+	base := ControlPlaneConfig{
+		Hosts:           96,
+		Relays:          4,
+		Waves:           2,
+		VaccinesPerWave: 8,
+		LongPoll:        10 * time.Second,
+		Seed:            11,
+		ConvergeTimeout: 30 * time.Second,
+	}
+	jsonRes, err := SimulateControlPlane(ctx, base)
+	if err != nil {
+		t.Fatalf("relay/json: %v", err)
+	}
+	binCfg := base
+	binCfg.Binary = true
+	binRes, err := SimulateControlPlane(ctx, binCfg)
+	if err != nil {
+		t.Fatalf("relay/binary: %v", err)
+	}
+
+	want := uint64(base.Hosts * base.Waves)
+	for _, r := range []*ControlPlaneResult{jsonRes, binRes} {
+		if r.Relays != base.Relays || r.Deltas != want || r.DecodeErrors != 0 {
+			t.Fatalf("binary=%v: relay fleet result %+v", r.Binary, r)
+		}
+		// The origin serves the relays, not the fleet: its request count
+		// must be in the relays' order of magnitude. Each relay costs a
+		// handful of round trips (one initial delta, one per wave, plus
+		// expired parks), nowhere near 2 waves × 96 agents.
+		if r.OriginRequests >= uint64(base.Hosts) {
+			t.Fatalf("binary=%v: origin served %d requests for %d relays — scaling with agents, not relays",
+				r.Binary, r.OriginRequests, base.Relays)
+		}
+		if r.EdgeRequests < want {
+			t.Fatalf("binary=%v: edge served only %d requests for %d agent deltas",
+				r.Binary, r.EdgeRequests, want)
+		}
+	}
+	if binRes.BytesOnWire >= jsonRes.BytesOnWire {
+		t.Fatalf("binary codec put MORE bytes on the wire: %d vs JSON %d",
+			binRes.BytesOnWire, jsonRes.BytesOnWire)
+	}
+}
+
+// TestSimulateControlPlaneBinaryHalvesWire pins the ISSUE acceptance
+// shape at test scale: on the direct (no-relay) long-poll study with
+// 8-vaccine waves, the binary codec at least halves bytes-on-wire.
+func TestSimulateControlPlaneBinaryHalvesWire(t *testing.T) {
+	ctx := context.Background()
+	base := ControlPlaneConfig{
+		Hosts:           64,
+		Waves:           2,
+		VaccinesPerWave: 8,
+		LongPoll:        10 * time.Second,
+		Seed:            23,
+		ConvergeTimeout: 30 * time.Second,
+	}
+	jsonRes, err := SimulateControlPlane(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binCfg := base
+	binCfg.Binary = true
+	binRes, err := SimulateControlPlane(ctx, binCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binRes.Server.BinaryDeltas == 0 {
+		t.Fatal("binary study never served a binary delta")
+	}
+	if binRes.BytesOnWire*2 > jsonRes.BytesOnWire {
+		t.Fatalf("binary %d bytes vs JSON %d: less than 2x reduction",
+			binRes.BytesOnWire, jsonRes.BytesOnWire)
+	}
+}

@@ -1,7 +1,6 @@
 package fleet
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"net/http"
@@ -30,6 +29,10 @@ type Server struct {
 	reg     *Registry
 	metrics *Metrics
 	mux     *http.ServeMux
+	// cache memoises encoded delta bodies per (since, version,
+	// encoding), so a publish waking N parked long-pollers at the same
+	// cursor costs one shard scan and one encode, not N.
+	cache *deltaCache
 	// ActiveWindow is the heartbeat freshness window for fleet
 	// status; set before serving (default DefaultActiveWindow).
 	ActiveWindow time.Duration
@@ -43,6 +46,7 @@ func NewServer(reg *Registry) *Server {
 		reg:          reg,
 		metrics:      &Metrics{},
 		mux:          http.NewServeMux(),
+		cache:        newDeltaCache(),
 		ActiveWindow: DefaultActiveWindow,
 		now:          time.Now,
 	}
@@ -176,7 +180,24 @@ func (s *Server) handlePacks(w http.ResponseWriter, r *http.Request) {
 		s.metrics.notModified.Add(1)
 		return
 	}
-	s.writeDelta(w, r, s.reg.Delta(since))
+	s.serveCachedDelta(w, r, since)
+}
+
+// serveCachedDelta answers one pack request through the encode cache:
+// the response bytes for (since, version, encoding) are computed once
+// and every further request at the same cursor — the long-poll
+// thundering herd after a publish — is served the cached body.
+func (s *Server) serveCachedDelta(w http.ResponseWriter, r *http.Request, since uint64) {
+	binary := acceptsBinaryDelta(r.Header.Get("Accept"))
+	e, hit, err := s.cache.get(s.reg, since, binary)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if hit {
+		s.metrics.encodeHits.Add(1)
+	}
+	s.writeEncoded(w, r, e)
 }
 
 // waitForPublish parks until a version past since is published, the
@@ -201,25 +222,36 @@ func (s *Server) waitForPublish(ctx context.Context, since uint64, wait time.Dur
 	}
 }
 
-// writeDelta emits one DeltaResponse with its ETag, honouring
-// If-None-Match.
+// writeDelta encodes and emits one DeltaResponse under the client's
+// negotiated encoding, bypassing the cache (the Reset resync path —
+// rare, per-stray-client responses that would only pollute it).
 func (s *Server) writeDelta(w http.ResponseWriter, r *http.Request, delta *DeltaResponse) {
-	etag := `"` + delta.ETag + `"`
-	w.Header().Set("ETag", etag)
-	if r.Header.Get("If-None-Match") == etag {
+	body, contentType, err := encodeDelta(delta, acceptsBinaryDelta(r.Header.Get("Accept")))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.writeEncoded(w, r, &cachedDelta{
+		etag: `"` + delta.ETag + `"`, contentType: contentType, body: body,
+	})
+}
+
+// writeEncoded emits one pre-encoded delta body with its ETag,
+// honouring If-None-Match.
+func (s *Server) writeEncoded(w http.ResponseWriter, r *http.Request, e *cachedDelta) {
+	w.Header().Set("ETag", e.etag)
+	if r.Header.Get("If-None-Match") == e.etag {
 		w.WriteHeader(http.StatusNotModified)
 		s.metrics.notModified.Add(1)
 		return
 	}
-	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(delta); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
-	w.Write(buf.Bytes())
+	w.Header().Set("Content-Type", e.contentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(e.body)))
+	w.Write(e.body)
 	s.metrics.deltas.Add(1)
+	if e.contentType == ContentTypeDelta {
+		s.metrics.binaryDeltas.Add(1)
+	}
 }
 
 // handleCheckin serves POST /v1/checkin heartbeats.

@@ -1,0 +1,332 @@
+package vaccine
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+	"autovac/internal/winenv"
+)
+
+// Binary vaccine encoding — the payload half of the fleet delta codec
+// (internal/fleet/codec.go frames it). JSON spends most of a delta's
+// bytes on field names, quotes, and repeated string values; at fleet
+// scale that is the dominant wire cost, so the binary form drops all
+// three:
+//
+//   - field names disappear: fields are positional, optionals gated by
+//     a presence bitmap;
+//   - integers (enums, counters, PCs) become varints;
+//   - every string is interned once in a per-batch string table and
+//     referenced by varint index, so vaccines sharing an API, op, or
+//     sample name pay for the bytes once per pack, not once per
+//     vaccine.
+//
+// The replay slice of algorithm-deterministic vaccines is carried as a
+// length-prefixed canonical-JSON blob: it is rare, deeply structured,
+// and already has one canonical serialised form (the one Fingerprint
+// hashes), so re-encoding it field-by-field would buy little and risk
+// divergence.
+//
+// Decoding never trusts input: every count is bounded by the bytes
+// remaining, unknown presence bits are rejected, and all failures
+// return an error wrapping ErrBinaryMalformed — never a panic
+// (FuzzDeltaCodec in internal/fleet pins this).
+
+// ErrBinaryMalformed is wrapped by every binary-decoding failure, so
+// callers can classify transport corruption distinctly from valid
+// responses (fleet agents count these as retryable DecodeErrors).
+var ErrBinaryMalformed = errors.New("vaccine: malformed binary encoding")
+
+// Presence bits of the per-vaccine optional-field bitmap.
+const (
+	binHasFamily = 1 << iota
+	binHasCategory
+	binHasPattern
+	binHasEffects
+	binHasSlice
+	binHasBDR
+	binHasCallerPC
+
+	binKnownBits = binHasCallerPC<<1 - 1
+)
+
+// strTable interns strings during encoding: first use appends the
+// string to the table and later uses reference it by index.
+type strTable struct {
+	index map[string]uint64
+	strs  []string
+}
+
+func (t *strTable) intern(s string) uint64 {
+	if i, ok := t.index[s]; ok {
+		return i
+	}
+	i := uint64(len(t.strs))
+	t.index[s] = i
+	t.strs = append(t.strs, s)
+	return i
+}
+
+// AppendBinary appends the binary encoding of vs to dst: a string
+// table followed by the positional vaccine records. Decode with
+// DecodeBinary.
+func AppendBinary(dst []byte, vs []Vaccine) ([]byte, error) {
+	tab := &strTable{index: make(map[string]uint64)}
+	var body []byte
+	for i := range vs {
+		var err error
+		body, err = appendVaccine(body, &vs[i], tab)
+		if err != nil {
+			return nil, err
+		}
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(tab.strs)))
+	for _, s := range tab.strs {
+		dst = appendString(dst, s)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(vs)))
+	return append(dst, body...), nil
+}
+
+// appendVaccine encodes one vaccine positionally, interning its
+// strings.
+func appendVaccine(dst []byte, v *Vaccine, tab *strTable) ([]byte, error) {
+	flags := uint64(0)
+	if v.Family != "" {
+		flags |= binHasFamily
+	}
+	if v.Category != "" {
+		flags |= binHasCategory
+	}
+	if v.Pattern != "" {
+		flags |= binHasPattern
+	}
+	if len(v.Effects) > 0 {
+		flags |= binHasEffects
+	}
+	if v.Slice != nil {
+		flags |= binHasSlice
+	}
+	if v.BDR != 0 {
+		flags |= binHasBDR
+	}
+	if v.CallerPC != 0 {
+		flags |= binHasCallerPC
+	}
+	dst = binary.AppendUvarint(dst, flags)
+	dst = binary.AppendUvarint(dst, tab.intern(v.ID))
+	dst = binary.AppendUvarint(dst, tab.intern(v.Sample))
+	if flags&binHasFamily != 0 {
+		dst = binary.AppendUvarint(dst, tab.intern(v.Family))
+	}
+	if flags&binHasCategory != 0 {
+		dst = binary.AppendUvarint(dst, tab.intern(v.Category))
+	}
+	dst = binary.AppendVarint(dst, int64(v.Resource))
+	dst = binary.AppendUvarint(dst, tab.intern(v.Identifier))
+	if flags&binHasPattern != 0 {
+		dst = binary.AppendUvarint(dst, tab.intern(v.Pattern))
+	}
+	dst = binary.AppendVarint(dst, int64(v.Class))
+	dst = binary.AppendUvarint(dst, tab.intern(v.Op))
+	dst = binary.AppendUvarint(dst, tab.intern(v.API))
+	if flags&binHasCallerPC != 0 {
+		dst = binary.AppendVarint(dst, int64(v.CallerPC))
+	}
+	dst = binary.AppendVarint(dst, int64(v.Effect))
+	if flags&binHasEffects != 0 {
+		dst = binary.AppendUvarint(dst, uint64(len(v.Effects)))
+		for _, e := range v.Effects {
+			dst = binary.AppendVarint(dst, int64(e))
+		}
+	}
+	dst = binary.AppendVarint(dst, int64(v.Polarity))
+	dst = binary.AppendVarint(dst, int64(v.Delivery))
+	if flags&binHasSlice != 0 {
+		blob, err := json.Marshal(v.Slice)
+		if err != nil {
+			return nil, fmt.Errorf("vaccine: binary-encoding slice of %s: %w", v.ID, err)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(blob)))
+		dst = append(dst, blob...)
+	}
+	if flags&binHasBDR != 0 {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.BDR))
+	}
+	return dst, nil
+}
+
+// appendString emits one length-prefixed string.
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// binReader walks a binary payload with bounds-checked reads; the
+// first failure latches and every later read becomes a no-op, so
+// decoders can read a full record and check err once.
+type binReader struct {
+	data []byte
+	err  error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: "+format, append([]any{ErrBinaryMalformed}, args...)...)
+	}
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data)
+	if n <= 0 {
+		r.fail("truncated uvarint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data)
+	if n <= 0 {
+		r.fail("truncated varint")
+		return 0
+	}
+	r.data = r.data[n:]
+	return v
+}
+
+func (r *binReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)) {
+		r.fail("%d-byte field exceeds %d remaining", n, len(r.data))
+		return nil
+	}
+	b := r.data[:n]
+	r.data = r.data[n:]
+	return b
+}
+
+func (r *binReader) u64() uint64 {
+	b := r.bytes(8)
+	if r.err != nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// DecodeBinary decodes a vaccine batch produced by AppendBinary,
+// returning the vaccines and the unconsumed remainder of data. Errors
+// wrap ErrBinaryMalformed and never panic, whatever the input.
+func DecodeBinary(data []byte) ([]Vaccine, []byte, error) {
+	r := &binReader{data: data}
+	nstr := r.uvarint()
+	if r.err == nil && nstr > uint64(len(r.data)) {
+		// Every table entry costs at least its length byte; a count
+		// beyond the remaining bytes is corrupt, not a big table.
+		r.fail("string table count %d exceeds %d remaining bytes", nstr, len(r.data))
+	}
+	var tab []string
+	if r.err == nil {
+		tab = make([]string, 0, nstr)
+		for i := uint64(0); i < nstr && r.err == nil; i++ {
+			tab = append(tab, string(r.bytes(r.uvarint())))
+		}
+	}
+	nvac := r.uvarint()
+	if r.err == nil && nvac > uint64(len(r.data))+1 {
+		r.fail("vaccine count %d exceeds %d remaining bytes", nvac, len(r.data))
+	}
+	var vs []Vaccine
+	if r.err == nil {
+		vs = make([]Vaccine, 0, nvac)
+		for i := uint64(0); i < nvac && r.err == nil; i++ {
+			vs = append(vs, decodeVaccine(r, tab))
+		}
+	}
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return vs, r.data, nil
+}
+
+// decodeVaccine reads one positional vaccine record.
+func decodeVaccine(r *binReader, tab []string) Vaccine {
+	str := func(i uint64) string {
+		if r.err != nil {
+			return ""
+		}
+		if i >= uint64(len(tab)) {
+			r.fail("string ref %d outside table of %d", i, len(tab))
+			return ""
+		}
+		return tab[i]
+	}
+	var v Vaccine
+	flags := r.uvarint()
+	if r.err == nil && flags&^uint64(binKnownBits) != 0 {
+		r.fail("unknown presence bits %#x", flags&^uint64(binKnownBits))
+	}
+	v.ID = str(r.uvarint())
+	v.Sample = str(r.uvarint())
+	if flags&binHasFamily != 0 {
+		v.Family = str(r.uvarint())
+	}
+	if flags&binHasCategory != 0 {
+		v.Category = str(r.uvarint())
+	}
+	v.Resource = winenv.ResourceKind(r.varint())
+	v.Identifier = str(r.uvarint())
+	if flags&binHasPattern != 0 {
+		v.Pattern = str(r.uvarint())
+	}
+	v.Class = IdentifierClass(r.varint())
+	v.Op = str(r.uvarint())
+	v.API = str(r.uvarint())
+	if flags&binHasCallerPC != 0 {
+		v.CallerPC = int(r.varint())
+	}
+	v.Effect = impact.Effect(r.varint())
+	if flags&binHasEffects != 0 {
+		n := r.uvarint()
+		if r.err == nil && n > uint64(len(r.data))+1 {
+			r.fail("effects count %d exceeds %d remaining bytes", n, len(r.data))
+		}
+		if r.err == nil {
+			v.Effects = make([]impact.Effect, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				v.Effects = append(v.Effects, impact.Effect(r.varint()))
+			}
+		}
+	}
+	v.Polarity = Polarity(r.varint())
+	v.Delivery = Delivery(r.varint())
+	if flags&binHasSlice != 0 {
+		blob := r.bytes(r.uvarint())
+		if r.err == nil {
+			var sl determinism.Slice
+			if err := json.Unmarshal(blob, &sl); err != nil {
+				r.fail("slice blob: %v", err)
+			} else {
+				v.Slice = &sl
+			}
+		}
+	}
+	if flags&binHasBDR != 0 {
+		v.BDR = math.Float64frombits(r.u64())
+	}
+	return v
+}

@@ -1,0 +1,119 @@
+package vaccine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"autovac/internal/determinism"
+	"autovac/internal/impact"
+	"autovac/internal/isa"
+	"autovac/internal/winenv"
+)
+
+// binFullVaccine exercises every optional field the presence bitmap
+// gates.
+func binFullVaccine(t *testing.T) Vaccine {
+	t.Helper()
+	b := isa.NewBuilder("bin-slice")
+	b.Mov(isa.R(isa.EAX), isa.Imm(7)).Mov(isa.MemAbs(0x00500000), isa.R(isa.EAX)).Halt()
+	prog, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Vaccine{
+		ID: "bin/mutex/0", Sample: "bin-sample", Family: "conficker",
+		Category: "worm", Resource: winenv.KindMutex,
+		Identifier: "BIN-MARKER-0001", Pattern: "BIN-.*",
+		Class: determinism.AlgorithmDeterministic, Op: "create",
+		API: "CreateMutexA", CallerPC: 42,
+		Effect:  impact.Full,
+		Effects: []impact.Effect{impact.Full, impact.TypeI},
+		Slice: &determinism.Slice{Program: prog, ResultAddr: 0x00500000,
+			API: "CreateMutexA", SourceSteps: 3},
+		Polarity: SimulatePresence, Delivery: DirectInjection,
+		BDR: 0.875,
+	}
+}
+
+func binMinVaccine(i int) Vaccine {
+	return Vaccine{
+		ID: fmt.Sprintf("bin/min/%d", i), Sample: "bin-sample",
+		Resource: winenv.KindMutex, Identifier: fmt.Sprintf("MIN-%04d", i),
+		Class: determinism.Static, Op: "create", API: "CreateMutexA",
+		Effect: impact.Full, Polarity: SimulatePresence,
+		Delivery: DirectInjection,
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := []Vaccine{binFullVaccine(t), binMinVaccine(0), binMinVaccine(1)}
+	enc, err := AppendBinary(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rest, err := DecodeBinary(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d trailing bytes", len(rest))
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d vaccines, want %d", len(out), len(in))
+	}
+	for i := range in {
+		// Fingerprint is the vaccine's content identity (canonical JSON
+		// digest), so equality here means every field survived,
+		// including the replay slice blob.
+		if in[i].Fingerprint() != out[i].Fingerprint() {
+			t.Fatalf("vaccine %d content changed in round trip:\nin:  %+v\nout: %+v", i, in[i], out[i])
+		}
+	}
+	if out[0].Slice == nil || out[0].BDR != in[0].BDR || out[0].CallerPC != in[0].CallerPC {
+		t.Fatalf("optional fields lost: %+v", out[0])
+	}
+}
+
+// TestBinaryInternsSharedStrings pins the string table's point: N
+// vaccines sharing Sample/Op/API must not pay for those strings N
+// times.
+func TestBinaryInternsSharedStrings(t *testing.T) {
+	one, err := AppendBinary(nil, []Vaccine{binMinVaccine(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := make([]Vaccine, 64)
+	for i := range many {
+		many[i] = binMinVaccine(i)
+	}
+	enc, err := AppendBinary(nil, many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shared strings (Sample, Op, API) are stored once; per-vaccine
+	// growth is the unique ID/Identifier plus a few varints.
+	if len(enc) >= len(one)*len(many)*3/4 {
+		t.Fatalf("no interning win: 1 vaccine = %dB, %d vaccines = %dB", len(one), len(many), len(enc))
+	}
+}
+
+func TestDecodeBinaryMalformed(t *testing.T) {
+	valid, err := AppendBinary(nil, []Vaccine{binFullVaccine(t), binMinVaccine(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"truncated table":  valid[:2],
+		"truncated record": valid[:len(valid)-3],
+		"huge table count": {0xff, 0xff, 0xff, 0xff, 0x0f},
+		"unknown bits":     {0, 1, 0xff, 0x01}, // 0 strings, 1 vaccine, flags with unknown bits
+		"bad string ref":   {0, 1, 0, 0x7f},    // vaccine referencing string 127 of empty table
+	}
+	for name, data := range cases {
+		if _, _, err := DecodeBinary(data); !errors.Is(err, ErrBinaryMalformed) {
+			t.Errorf("%s: err = %v, want ErrBinaryMalformed", name, err)
+		}
+	}
+}
